@@ -1,0 +1,275 @@
+package jigsaw
+
+// The benchmarks below regenerate the paper's evaluation artifacts — one
+// benchmark per table and figure (see DESIGN.md's experiment index) — plus
+// the ablations called out in DESIGN.md and micro-benchmarks of the
+// allocators themselves. The table/figure benchmarks run the same code as
+// cmd/experiments at a reduced trace scale so `go test -bench=.` finishes in
+// minutes; utilization-style outcomes are attached with b.ReportMetric.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// benchScale keeps bench iterations tractable; cmd/experiments raises it.
+const benchScale = 0.01
+
+// BenchmarkTable1TraceGen regenerates Table 1's nine traces.
+func BenchmarkTable1TraceGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts := trace.All(0.1)
+		if len(ts) != 9 {
+			b.Fatal("expected nine traces")
+		}
+	}
+}
+
+// BenchmarkFigure6Utilization regenerates Figure 6 (average system
+// utilization, all traces x all schemes) and reports Jigsaw's mean
+// utilization across traces.
+func BenchmarkFigure6Utilization(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6Data(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.Util["Jigsaw"]
+		}
+		b.ReportMetric(100*sum/float64(len(rows)), "jigsaw-util-%")
+	}
+}
+
+// BenchmarkTable2Instantaneous regenerates Table 2 (instantaneous
+// utilization frequencies on Thunder).
+func BenchmarkTable2Instantaneous(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Table2Data(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != 3 {
+			b.Fatal("expected three schemes")
+		}
+	}
+}
+
+// BenchmarkFigure7Turnaround regenerates Figure 7 (normalized turnaround,
+// Aug-Cab) and reports Jigsaw's all-jobs ratio under the 10% scenario.
+func BenchmarkFigure7Turnaround(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure7Data(cfg, trace.AugCab(benchScale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Cells["10%"]["Jigsaw"].All, "jigsaw-10%-norm-turnaround")
+	}
+}
+
+// BenchmarkFigure8Makespan regenerates Figure 8 (normalized makespans,
+// Thunder) and reports Jigsaw's ratio under the 10% scenario.
+func BenchmarkFigure8Makespan(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure8Data(cfg, trace.ThunderLike(benchScale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Cells["10%"]["Jigsaw"], "jigsaw-10%-norm-makespan")
+	}
+}
+
+// BenchmarkTable3SchedulingTime regenerates Table 3 (average scheduling time
+// per job) and reports Jigsaw's time on the largest cluster in
+// microseconds.
+func BenchmarkTable3SchedulingTime(b *testing.B) {
+	cfg := experiments.Config{Scale: benchScale, Out: io.Discard}
+	for i := 0; i < b.N; i++ {
+		data, _, err := experiments.Table3Data(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1e6*data["Jigsaw"]["Synth-28"], "jigsaw-synth28-us/job")
+	}
+}
+
+// allocBench drives one allocator through a steady allocate/release churn at
+// ~90% occupancy, the regime that matters for scheduling time.
+func allocBench(b *testing.B, scheme string, radix int) {
+	tree := topology.MustNew(radix)
+	a, err := NewAllocator(scheme, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var live []*Placement
+	id := JobID(1)
+	// Fill towards ~90% occupancy. The attempt bound matters for the
+	// link-sharing schemes, whose links can exhaust before nodes do.
+	for tries := 0; a.FreeNodes() > tree.Nodes()/10 && tries < 5000; tries++ {
+		size := 1 + rng.Intn(2*radix)
+		if pl, ok := a.Allocate(id, size); ok {
+			live = append(live, pl)
+		}
+		id++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(len(live))
+		released := live[j]
+		a.Release(released)
+		size := 1 + rng.Intn(2*radix)
+		if pl, ok := a.Allocate(id, size); ok {
+			live[j] = pl
+		} else {
+			// Restore the released placement so occupancy holds.
+			a.Mirror(released)
+		}
+		id++
+	}
+}
+
+func BenchmarkAllocateJigsaw1024(b *testing.B)   { allocBench(b, SchemeJigsaw, 16) }
+func BenchmarkAllocateJigsaw5488(b *testing.B)   { allocBench(b, SchemeJigsaw, 28) }
+func BenchmarkAllocateLaaS1024(b *testing.B)     { allocBench(b, SchemeLaaS, 16) }
+func BenchmarkAllocateTA1024(b *testing.B)       { allocBench(b, SchemeTA, 16) }
+func BenchmarkAllocateLCS1024(b *testing.B)      { allocBench(b, SchemeLCS, 16) }
+func BenchmarkAllocateBaseline1024(b *testing.B) { allocBench(b, SchemeBaseline, 16) }
+
+// BenchmarkRoutePermutation measures the constructive rearrangeable
+// non-blocking router on a multi-tree partition.
+func BenchmarkRoutePermutation(b *testing.B) {
+	tree := topology.MustNew(16)
+	a := core.NewAllocator(tree)
+	p, ok := a.FindPartition(200)
+	if !ok {
+		b.Fatal("no partition")
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm := rng.Perm(200)
+		if _, err := RoutePermutation(tree, p, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFactorizationOrder compares Jigsaw's dense-first
+// two-level factorization order against sparse-first (DESIGN.md Section 7),
+// reporting the utilization each achieves on Synth-16.
+func BenchmarkAblationFactorizationOrder(b *testing.B) {
+	for _, sparse := range []bool{false, true} {
+		name := "dense-first"
+		if sparse {
+			name = "sparse-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := trace.Synth16(benchScale)
+			for i := 0; i < b.N; i++ {
+				tree := topology.MustNew(16)
+				a := core.NewAllocator(tree)
+				a.SparseFirst = sparse
+				s := sched.New(a, scenario.None{})
+				s.MeasureAllocTime = false
+				res, err := s.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*metrics.Utilization(res), "util-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBackfill compares EASY backfilling against pure FIFO
+// under Jigsaw (the capability the paper's authors added to the simulator).
+func BenchmarkAblationBackfill(b *testing.B) {
+	for _, backfill := range []bool{true, false} {
+		name := "easy"
+		if !backfill {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := trace.Synth16(benchScale)
+			for i := 0; i < b.N; i++ {
+				tree := topology.MustNew(16)
+				a := core.NewAllocator(tree)
+				s := sched.New(a, scenario.None{})
+				s.MeasureAllocTime = false
+				s.DisableBackfill = !backfill
+				res, err := s.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*metrics.Utilization(res), "util-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJigsawSharing contrasts strict Jigsaw with the Jigsaw+S
+// extension (link sharing at Jigsaw shapes): sharing should match or beat
+// strict isolation on utilization at the cost of the zero-interference
+// guarantee.
+func BenchmarkAblationJigsawSharing(b *testing.B) {
+	for _, scheme := range []string{SchemeJigsaw, SchemeJigsawS} {
+		b.Run(scheme, func(b *testing.B) {
+			tr := trace.Synth16(benchScale)
+			tree := topology.MustNew(16)
+			for i := 0; i < b.N; i++ {
+				a, err := NewAllocator(scheme, tree)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := sched.New(a, scenario.None{})
+				s.MeasureAllocTime = false
+				res, err := s.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*metrics.Utilization(res), "util-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWholeLeafRestriction contrasts Jigsaw's whole-leaf
+// three-level restriction with the fully-permissive legal placement space
+// (LC+S's search without link sharing is the closest stand-in): Section 4
+// argues the restriction buys both speed and utilization.
+func BenchmarkAblationWholeLeafRestriction(b *testing.B) {
+	for _, scheme := range []string{SchemeJigsaw, SchemeLCS} {
+		b.Run(scheme, func(b *testing.B) {
+			tr := trace.Synth16(benchScale)
+			tree := topology.MustNew(16)
+			for i := 0; i < b.N; i++ {
+				a, err := NewAllocator(scheme, tree)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := sched.New(a, scenario.None{})
+				s.MeasureAllocTime = false
+				res, err := s.Run(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*metrics.Utilization(res), "util-%")
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Command tracegen emits one of the built-in evaluation traces in Standard
+// Workload Format on stdout, so it can be inspected, archived, or fed back
+// through jigsim -swf.
+//
+// Usage:
+//
+//	tracegen -trace Oct-Cab -scale 1.0 > oct-cab.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	name := flag.String("trace", "Synth-16", "built-in trace name")
+	scale := flag.Float64("scale", 1.0, "trace scale factor in (0, 1]")
+	list := flag.Bool("list", false, "list available traces and exit")
+	flag.Parse()
+
+	if *list {
+		for _, tr := range trace.All(0.02) {
+			fmt.Println(tr.Name)
+		}
+		return
+	}
+	for _, tr := range trace.All(*scale) {
+		if tr.Name == *name {
+			if err := trace.WriteSWF(os.Stdout, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q\n", *name)
+	os.Exit(2)
+}

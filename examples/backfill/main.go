@@ -1,0 +1,45 @@
+// Backfill demonstrates the EASY backfilling the authors added to the
+// simulator (Section 5.3): with a reservation protecting the head job, short
+// jobs slip into gaps and both turnaround and utilization improve over pure
+// FIFO — without ever delaying the head job's start.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jigsaw "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	tr := trace.Synth(trace.SynthConfig{
+		Name: "backfill-demo", Jobs: 600, MeanSize: 20, MaxSize: 120, SnapUnit: 8,
+		MinRun: 10, MaxRun: 2000, SystemNodes: 1024, SimRadix: 16, Seed: 99,
+	})
+	tree, err := jigsaw.NewFatTree(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, _ := jigsaw.ScenarioByName("None")
+
+	for _, backfill := range []bool{false, true} {
+		a, err := jigsaw.NewAllocator(jigsaw.SchemeJigsaw, tree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := jigsaw.NewScheduler(a, sc)
+		s.MeasureAllocTime = false
+		s.DisableBackfill = !backfill
+		res, err := s.Run(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "FIFO only     "
+		if backfill {
+			mode = "EASY backfill "
+		}
+		fmt.Printf("%s utilization %5.1f%%  makespan %8.0fs  mean turnaround %8.0fs\n",
+			mode, 100*jigsaw.Utilization(res), jigsaw.Makespan(res), jigsaw.MeanTurnaround(res, 0))
+	}
+}

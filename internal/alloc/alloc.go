@@ -1,0 +1,35 @@
+// Package alloc defines the allocator interface shared by every scheduling
+// scheme in the repository (Baseline, TA, LaaS, Jigsaw, LC+S). An allocator
+// owns a topology.State and answers placement queries against it; the
+// scheduler drives it from job arrival and completion events.
+package alloc
+
+import "repro/internal/topology"
+
+// Allocator is a job-placement policy bound to an allocation state.
+//
+// Implementations are deterministic: the same sequence of Allocate/Release
+// calls yields the same placements. They are not safe for concurrent use.
+type Allocator interface {
+	// Name returns the scheme name used in reports ("Jigsaw", "LaaS", ...).
+	Name() string
+	// Allocate searches for a placement for size nodes, charges it against
+	// the state, and returns it. It returns (nil, false) — with the state
+	// unchanged — if no legal placement currently exists.
+	Allocate(job topology.JobID, size int) (*topology.Placement, bool)
+	// Release returns a placement's nodes and links to the state.
+	Release(p *topology.Placement)
+	// Mirror charges an externally-produced placement (typically one
+	// applied to another allocator's state) against this allocator's
+	// state. The scheduler uses it to replay placements on cloned
+	// allocators during EASY reservation and backfill checks. The
+	// placement's resources must be free here; Mirror panics otherwise.
+	Mirror(p *topology.Placement)
+	// FreeNodes returns the number of currently unallocated nodes.
+	FreeNodes() int
+	// Tree returns the fat-tree the allocator schedules onto.
+	Tree() *topology.FatTree
+	// Clone returns an independent deep copy (state included) used for
+	// what-if analysis such as EASY reservation computation.
+	Clone() Allocator
+}

@@ -1,0 +1,65 @@
+// Package baseline implements the traditional, unconstrained scheduler the
+// paper compares against: jobs receive dedicated nodes anywhere on the
+// machine (first-fit by node index) and the network is shared, so no links
+// are allocated and no isolation is provided.
+package baseline
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/topology"
+)
+
+// Allocator implements alloc.Allocator with no placement constraints beyond
+// node availability.
+type Allocator struct {
+	tree *topology.FatTree
+	st   *topology.State
+}
+
+// NewAllocator returns a baseline allocator for a pristine tree.
+func NewAllocator(tree *topology.FatTree) *Allocator {
+	return &Allocator{tree: tree, st: topology.NewState(tree, 1)}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "Baseline" }
+
+// Tree implements alloc.Allocator.
+func (a *Allocator) Tree() *topology.FatTree { return a.tree }
+
+// FreeNodes implements alloc.Allocator.
+func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
+
+// Clone implements alloc.Allocator.
+func (a *Allocator) Clone() alloc.Allocator {
+	return &Allocator{tree: a.tree, st: a.st.Clone()}
+}
+
+// Allocate implements alloc.Allocator: any free nodes suffice.
+func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
+	if size < 1 || size > a.st.FreeNodes() {
+		return nil, false
+	}
+	pl := topology.NewPlacement(job, 1)
+	remaining := size
+	for leaf := 0; leaf < a.tree.Leaves() && remaining > 0; leaf++ {
+		n := a.st.FreeInLeaf(leaf)
+		if n == 0 {
+			continue
+		}
+		if n > remaining {
+			n = remaining
+		}
+		pl.AddLeafNodes(leaf, n)
+		remaining -= n
+	}
+	pl.Apply(a.st)
+	return pl, true
+}
+
+// Release implements alloc.Allocator.
+func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// Mirror implements alloc.Allocator: it charges an externally-produced
+// placement against this allocator's state (used for what-if snapshots).
+func (a *Allocator) Mirror(p *topology.Placement) { p.Apply(a.st) }

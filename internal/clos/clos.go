@@ -1,0 +1,165 @@
+// Package clos constructs the unfolded Clos-network view of a fat-tree that
+// the paper's proofs work in (Figures 4, 9, and 10): every node appears as
+// an input node on the left and an output node on the right, each level of
+// switches becomes a stage, and the folded tree's full-duplex links become
+// pairs of unidirectional stage-to-stage links. A two-level fat-tree unfolds
+// into a three-stage Clos network; a three-level fat-tree into a five-stage
+// one whose center three stages decompose into the L2PerPod disjoint
+// sub-networks T*_i the formal conditions reason about.
+//
+// The package exists to make the proofs' formal device executable: tests
+// verify the stage structure, the T*_i decomposition, and that every
+// analytic Route of the routing package corresponds to exactly one
+// input-to-output path through the unfolded network.
+package clos
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Stage indices of the five-stage unfolding.
+const (
+	StageInputLeaf  = 0 // leaves on the sending side
+	StageInputL2    = 1 // L2 switches on the sending side
+	StageSpine      = 2 // center stage
+	StageOutputL2   = 3 // L2 switches on the receiving side
+	StageOutputLeaf = 4 // leaves on the receiving side
+)
+
+// Vertex is one switch instance in the unfolded network.
+type Vertex struct {
+	// Stage is one of the Stage constants.
+	Stage int
+	// Pod is the pod for leaf/L2 stages; for the spine stage it is -1.
+	Pod int
+	// Index is the within-pod leaf/L2 index, or the global spine index
+	// (group*SpinesPerGroup + member) at the center stage.
+	Index int
+}
+
+// Edge is one unidirectional link between adjacent stages.
+type Edge struct {
+	From, To Vertex
+}
+
+// Network is the unfolded five-stage Clos equivalent of a fat-tree.
+type Network struct {
+	Tree  *topology.FatTree
+	Edges []Edge
+}
+
+// Unfold builds the Clos view of the tree.
+func Unfold(t *topology.FatTree) *Network {
+	n := &Network{Tree: t}
+	for pod := 0; pod < t.Pods; pod++ {
+		for leaf := 0; leaf < t.LeavesPerPod; leaf++ {
+			for i := 0; i < t.L2PerPod; i++ {
+				// Input leaf -> input L2, and symmetric output side.
+				n.Edges = append(n.Edges,
+					Edge{Vertex{StageInputLeaf, pod, leaf}, Vertex{StageInputL2, pod, i}},
+					Edge{Vertex{StageOutputL2, pod, i}, Vertex{StageOutputLeaf, pod, leaf}},
+				)
+			}
+		}
+		for i := 0; i < t.L2PerPod; i++ {
+			for s := 0; s < t.SpinesPerGroup; s++ {
+				spine := i*t.SpinesPerGroup + s
+				n.Edges = append(n.Edges,
+					Edge{Vertex{StageInputL2, pod, i}, Vertex{StageSpine, -1, spine}},
+					Edge{Vertex{StageSpine, -1, spine}, Vertex{StageOutputL2, pod, i}},
+				)
+			}
+		}
+	}
+	return n
+}
+
+// CenterSubnetwork returns the edges of T*_i: the full-bipartite partition
+// formed by the i-th L2 switch of every pod and spine group i (the grey
+// network of Figure 4/10).
+func (n *Network) CenterSubnetwork(i int) []Edge {
+	t := n.Tree
+	var out []Edge
+	for _, e := range n.Edges {
+		switch {
+		case e.From.Stage == StageInputL2 && e.From.Index == i && e.To.Stage == StageSpine:
+			if e.To.Index/t.SpinesPerGroup == i {
+				out = append(out, e)
+			}
+		case e.From.Stage == StageSpine && e.To.Stage == StageOutputL2 && e.To.Index == i:
+			if e.From.Index/t.SpinesPerGroup == i {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Path converts an analytic Route into the corresponding input-to-output
+// walk through the unfolded network: a list of vertices from the input leaf
+// to the output leaf. Intra-leaf routes yield the two leaf vertices only.
+func (n *Network) Path(r routing.Route) ([]Vertex, error) {
+	t := n.Tree
+	srcLeaf := t.NodeLeaf(r.Src)
+	dstLeaf := t.NodeLeaf(r.Dst)
+	in := Vertex{StageInputLeaf, t.LeafPod(srcLeaf), t.LeafInPod(srcLeaf)}
+	out := Vertex{StageOutputLeaf, t.LeafPod(dstLeaf), t.LeafInPod(dstLeaf)}
+	if r.L2 < 0 {
+		if srcLeaf != dstLeaf {
+			return nil, fmt.Errorf("clos: route without L2 between distinct leaves")
+		}
+		return []Vertex{in, out}, nil
+	}
+	if r.L2 >= t.L2PerPod {
+		return nil, fmt.Errorf("clos: L2 index %d out of range", r.L2)
+	}
+	if r.Spine < 0 {
+		if in.Pod != out.Pod {
+			return nil, fmt.Errorf("clos: route without spine between distinct pods")
+		}
+		// Intra-pod: the packet turns around at the L2 switch; in the
+		// unfolded view this is input L2 -> output L2 of the same pod.
+		return []Vertex{
+			in,
+			{StageInputL2, in.Pod, r.L2},
+			{StageOutputL2, in.Pod, r.L2},
+			out,
+		}, nil
+	}
+	if r.Spine >= t.SpinesPerGroup {
+		return nil, fmt.Errorf("clos: spine index %d out of range", r.Spine)
+	}
+	spine := r.L2*t.SpinesPerGroup + r.Spine
+	return []Vertex{
+		in,
+		{StageInputL2, in.Pod, r.L2},
+		{StageSpine, -1, spine},
+		{StageOutputL2, out.Pod, r.L2},
+		out,
+	}, nil
+}
+
+// HasEdge reports whether the unfolded network contains the directed edge.
+func (n *Network) HasEdge(from, to Vertex) bool {
+	for _, e := range n.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the number of vertices per stage and total edges, the
+// quantities the unfolding figures annotate.
+func (n *Network) Counts() (perStage [5]int, edges int) {
+	t := n.Tree
+	perStage[StageInputLeaf] = t.Leaves()
+	perStage[StageInputL2] = t.Pods * t.L2PerPod
+	perStage[StageSpine] = t.Spines()
+	perStage[StageOutputL2] = t.Pods * t.L2PerPod
+	perStage[StageOutputLeaf] = t.Leaves()
+	return perStage, len(n.Edges)
+}

@@ -1,0 +1,148 @@
+package clos
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestUnfoldCounts(t *testing.T) {
+	tree := topology.MustNew(8)
+	n := Unfold(tree)
+	perStage, edges := n.Counts()
+	// Figure 10's annotations: m1 nodes/leaf, m2 leaves/pod, m3 pods.
+	if perStage[StageInputLeaf] != 32 || perStage[StageOutputLeaf] != 32 {
+		t.Fatalf("leaf stages = %v", perStage)
+	}
+	if perStage[StageInputL2] != 32 || perStage[StageSpine] != 16 {
+		t.Fatalf("inner stages = %v", perStage)
+	}
+	// Edges: leaf<->L2 both sides (2 * pods*leaves*l2) plus L2<->spine both
+	// sides (2 * pods*l2*spinesPerGroup).
+	want := 2*8*4*4 + 2*8*4*4
+	if edges != want {
+		t.Fatalf("edges = %d, want %d", edges, want)
+	}
+}
+
+func TestCenterSubnetworkIsFullBipartite(t *testing.T) {
+	tree := topology.MustNew(8)
+	n := Unfold(tree)
+	for i := 0; i < tree.L2PerPod; i++ {
+		edges := n.CenterSubnetwork(i)
+		// T*_i: every pod's L2 i connects to every spine of group i, both
+		// directions: 2 * pods * spinesPerGroup.
+		want := 2 * tree.Pods * tree.SpinesPerGroup
+		if len(edges) != want {
+			t.Fatalf("T*_%d has %d edges, want %d", i, len(edges), want)
+		}
+		for _, e := range edges {
+			// Every edge touches only L2 index i and spines of group i.
+			if e.From.Stage == StageInputL2 && e.From.Index != i {
+				t.Fatal("foreign L2 in center subnetwork")
+			}
+			if e.From.Stage == StageSpine && e.From.Index/tree.SpinesPerGroup != i {
+				t.Fatal("foreign spine in center subnetwork")
+			}
+		}
+	}
+	// The subnetworks partition the L2<->spine edges.
+	total := 0
+	for i := 0; i < tree.L2PerPod; i++ {
+		total += len(n.CenterSubnetwork(i))
+	}
+	if total != 2*tree.Pods*tree.L2PerPod*tree.SpinesPerGroup {
+		t.Fatalf("T*_i do not partition the center edges: %d", total)
+	}
+}
+
+// TestRoutesMapToClosWalks: every analytic route corresponds to a walk whose
+// consecutive vertices are joined by unfolded edges.
+func TestRoutesMapToClosWalks(t *testing.T) {
+	tree := topology.MustNew(8)
+	n := Unfold(tree)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		src := topology.NodeID(rng.Intn(tree.Nodes()))
+		dst := topology.NodeID(rng.Intn(tree.Nodes()))
+		r := routing.DModK(tree, src, dst)
+		path, err := n.Path(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(path); i++ {
+			a, b := path[i-1], path[i]
+			// The intra-leaf and intra-pod "turnaround" steps are folded
+			// artifacts: input leaf to output leaf directly, or input L2 to
+			// output L2, which the unfolded network represents implicitly.
+			if a.Stage == StageInputLeaf && b.Stage == StageOutputLeaf {
+				continue
+			}
+			if a.Stage == StageInputL2 && b.Stage == StageOutputL2 {
+				continue
+			}
+			if !n.HasEdge(a, b) {
+				t.Fatalf("route %+v step %v -> %v is not an unfolded edge", r, a, b)
+			}
+		}
+	}
+}
+
+// TestPartitionRoutesStayInTheirCenterNetworks: the wraparound routes of a
+// Jigsaw partition traverse only the center subnetworks T*_i with i in S,
+// the structural fact condition (6) encodes.
+func TestPartitionRoutesStayInTheirCenterNetworks(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	for j := 1; j <= 6; j++ {
+		a.Allocate(topology.JobID(j), tree.PodNodes())
+	}
+	p, ok := a.FindPartition(27)
+	if !ok {
+		t.Fatal("no partition")
+	}
+	n := Unfold(tree)
+	pr := routing.NewPartitionRouter(tree, p)
+	nodes := routing.PartitionNodes(tree, p)
+	inS := map[int]bool{}
+	for _, i := range p.S {
+		inS[i] = true
+	}
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			r, err := pr.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path, err := n.Path(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range path {
+				if v.Stage == StageSpine && !inS[v.Index/tree.SpinesPerGroup] {
+					t.Fatalf("route %d->%d crosses T*_%d outside S=%v", s, d, v.Index/tree.SpinesPerGroup, p.S)
+				}
+			}
+		}
+	}
+}
+
+func TestPathRejectsMalformedRoutes(t *testing.T) {
+	tree := topology.MustNew(8)
+	n := Unfold(tree)
+	if _, err := n.Path(routing.Route{Src: 0, Dst: 63, L2: -1, Spine: -1}); err == nil {
+		t.Fatal("missing L2 between leaves must error")
+	}
+	if _, err := n.Path(routing.Route{Src: 0, Dst: 63, L2: 99, Spine: 0}); err == nil {
+		t.Fatal("bad L2 must error")
+	}
+	if _, err := n.Path(routing.Route{Src: 0, Dst: tree.Node(3, 0, 0), L2: 0, Spine: -1}); err == nil {
+		t.Fatal("missing spine across pods must error")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// DefaultSearchBudget bounds the number of backtracking extensions a single
+// three-level search may explore. The Jigsaw whole-leaf restriction keeps
+// real searches far below this; the budget is a guard, not a tuning knob.
+const DefaultSearchBudget = 1 << 20
+
+// Allocator implements the Jigsaw scheduling approach (alloc.Allocator).
+// Every placement it produces is an isolated partition satisfying the
+// paper's formal conditions, so it carries full interconnect bandwidth
+// (rearrangeable non-blocking; see internal/routing for the constructive
+// check).
+type Allocator struct {
+	tree   *topology.FatTree
+	st     *topology.State
+	budget int
+
+	// SparseFirst flips the two-level factorization order from dense-first
+	// (fewest leaves, the default) to sparse-first; exposed for the
+	// ablation benchmarks.
+	SparseFirst bool
+}
+
+// NewAllocator returns a Jigsaw allocator for a pristine tree.
+func NewAllocator(tree *topology.FatTree) *Allocator {
+	return &Allocator{tree: tree, st: topology.NewState(tree, 1), budget: DefaultSearchBudget}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "Jigsaw" }
+
+// Tree implements alloc.Allocator.
+func (a *Allocator) Tree() *topology.FatTree { return a.tree }
+
+// FreeNodes implements alloc.Allocator.
+func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
+
+// State exposes the allocation state for inspection in tests.
+func (a *Allocator) State() *topology.State { return a.st }
+
+// Clone implements alloc.Allocator.
+func (a *Allocator) Clone() alloc.Allocator {
+	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget, SparseFirst: a.SparseFirst}
+}
+
+// FindPartition searches for a Jigsaw-legal partition of the given size
+// without charging it. It implements get_allocation of Algorithm 1: all
+// two-level (single-subtree) factorizations are tried first, then
+// three-level whole-leaf factorizations.
+func (a *Allocator) FindPartition(size int) (*partition.Partition, bool) {
+	return Search(a.st, 1, size, a.SparseFirst, a.budget)
+}
+
+// Search runs the full Jigsaw allocation search (Algorithm 1) against an
+// arbitrary state with an arbitrary per-link bandwidth demand. The isolating
+// Jigsaw scheduler uses demand 1 on capacity-1 links; the Jigsaw+S variant
+// (Section 5.2.3 notes the link-sharing relaxation composes with Jigsaw)
+// passes fractional demands against shared-capacity links.
+func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget int) (*partition.Partition, bool) {
+	t := st.Tree
+	if size < 1 || size > st.FreeNodes() {
+		return nil, false
+	}
+
+	// Two-level pass: size = LT*nL + nrL, nrL < nL.
+	maxNL := t.NodesPerLeaf
+	if size < maxNL {
+		maxNL = size
+	}
+	for k := 0; k < maxNL; k++ {
+		nL := maxNL - k
+		if sparseFirst {
+			nL = 1 + k
+		}
+		lt := size / nL
+		nrL := size % nL
+		need := lt
+		if nrL > 0 {
+			need++
+		}
+		if lt < 1 || need > t.LeavesPerPod {
+			continue
+		}
+		for pod := 0; pod < t.Pods; pod++ {
+			if p, ok := FindTwoLevel(st, demand, pod, lt, nL, nrL); ok {
+				return p, true
+			}
+		}
+	}
+
+	// Three-level pass with the whole-leaf restriction: nL = NodesPerLeaf,
+	// size = T*nT + nrT with nL | nT.
+	nL := t.NodesPerLeaf
+	for lt := t.LeavesPerPod; lt >= 1; lt-- {
+		nT := lt * nL
+		T := size / nT
+		nrT := size % nT
+		if T < 1 {
+			continue
+		}
+		if T == 1 && nrT == 0 {
+			continue // equivalent shape already tried by the two-level pass
+		}
+		need := T
+		if nrT > 0 {
+			need++
+		}
+		if need > t.Pods {
+			continue
+		}
+		steps := budget
+		if p, ok := FindThreeLevel(st, demand, T, lt, nrT/nL, nrT%nL, &steps); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Allocate implements alloc.Allocator: it finds a partition, converts it to
+// a placement, and charges it against the state.
+func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
+	p, ok := a.FindPartition(size)
+	if !ok {
+		return nil, false
+	}
+	pl := p.Placement(a.tree, job, 1)
+	pl.Apply(a.st)
+	return pl, true
+}
+
+// Release implements alloc.Allocator.
+func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// Mirror implements alloc.Allocator: it charges an externally-produced
+// placement against this allocator's state (used for what-if snapshots).
+func (a *Allocator) Mirror(p *topology.Placement) { p.Apply(a.st) }

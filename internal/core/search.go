@@ -1,0 +1,363 @@
+// Package core implements the Jigsaw allocation algorithm (Algorithm 1 of
+// the paper): a backtracking search for node-and-link allocations satisfying
+// the formal conditions of Section 3.2, restricted — for allocations that
+// span three levels — to whole leaves (all nodes per leaf except a single
+// remainder leaf). The restriction is what keeps the search fast and
+// external fragmentation low (Section 4).
+//
+// The two search primitives, FindTwoLevel and FindThreeLevel, are exported
+// because the LaaS comparison scheme (internal/laas) reuses them at
+// whole-leaf granularity.
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// lowestBits returns the indices of the lowest n set bits of m. It panics if
+// m has fewer than n bits set; callers establish that invariant first.
+func lowestBits(m uint64, n int) []int {
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := bits.TrailingZeros64(m)
+		if i == 64 {
+			panic("core: lowestBits underflow")
+		}
+		out = append(out, i)
+		m &^= 1 << i
+	}
+	return out
+}
+
+// FindTwoLevel searches one pod for a two-level allocation of LT leaves with
+// nL nodes each plus an optional remainder leaf with nrL < nL nodes, such
+// that the chosen full leaves share nL free uplinks to a common set S of L2
+// switches and the remainder leaf has nrL free uplinks inside S (the
+// conditions of Section 3.2 restricted to a single tree). Links must have
+// residual capacity of at least demand. It returns the first partition
+// found, scanning leaves in index order with exhaustive backtracking.
+func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*partition.Partition, bool) {
+	t := st.Tree
+	needLeaves := LT
+	if nrL > 0 {
+		needLeaves++
+	}
+	if LT < 1 || nL < 1 || nL > t.NodesPerLeaf || nrL >= nL || needLeaves > t.LeavesPerPod {
+		return nil, false
+	}
+
+	type leafInfo struct {
+		up   uint64
+		free int
+	}
+	info := make([]leafInfo, t.LeavesPerPod)
+	for l := 0; l < t.LeavesPerPod; l++ {
+		leafIdx := t.LeafIndex(pod, l)
+		info[l] = leafInfo{up: st.LeafUpMask(leafIdx, demand), free: st.FreeInLeaf(leafIdx)}
+	}
+
+	chosen := make([]int, 0, LT)
+	inUse := make([]bool, t.LeavesPerPod)
+
+	// finish tries to complete the allocation once LT full leaves are
+	// chosen with common uplink mask m.
+	finish := func(m uint64) (*partition.Partition, bool) {
+		var srMask uint64
+		var sr []int
+		remLeaf := -1
+		if nrL > 0 {
+			for l := 0; l < t.LeavesPerPod; l++ {
+				if inUse[l] || info[l].free < nrL {
+					continue
+				}
+				common := m & info[l].up
+				if bits.OnesCount64(common) < nrL {
+					continue
+				}
+				remLeaf = l
+				sr = lowestBits(common, nrL)
+				srMask = 0
+				for _, i := range sr {
+					srMask |= 1 << i
+				}
+				break
+			}
+			if remLeaf < 0 {
+				return nil, false
+			}
+			rest := lowestBits(m&^srMask, nL-nrL)
+			s := append(append([]int{}, sr...), rest...)
+			sortInts(s)
+			sortInts(sr)
+			leaves := make([]partition.LeafAlloc, 0, LT+1)
+			for _, l := range chosen {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+			}
+			leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
+			return &partition.Partition{
+				NL: nL, LT: LT, S: s, Sr: sr,
+				Trees: []partition.TreeAlloc{{Pod: pod, Leaves: leaves}},
+			}, true
+		}
+		s := lowestBits(m, nL)
+		leaves := make([]partition.LeafAlloc, 0, LT)
+		for _, l := range chosen {
+			leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+		}
+		return &partition.Partition{
+			NL: nL, LT: LT, S: s,
+			Trees: []partition.TreeAlloc{{Pod: pod, Leaves: leaves}},
+		}, true
+	}
+
+	var rec func(start int, m uint64) (*partition.Partition, bool)
+	rec = func(start int, m uint64) (*partition.Partition, bool) {
+		if len(chosen) == LT {
+			return finish(m)
+		}
+		// Prune: not enough leaves left to reach LT.
+		for l := start; l <= t.LeavesPerPod-(LT-len(chosen)); l++ {
+			if info[l].free < nL {
+				continue
+			}
+			nm := m & info[l].up
+			if bits.OnesCount64(nm) < nL {
+				continue
+			}
+			chosen = append(chosen, l)
+			inUse[l] = true
+			if p, ok := rec(l+1, nm); ok {
+				return p, true
+			}
+			inUse[l] = false
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil, false
+	}
+	return rec(0, ^uint64(0)>>(64-t.L2PerPod))
+}
+
+// FindThreeLevel searches the machine for a whole-leaf three-level
+// allocation: T full trees of LT completely-free leaves each, plus an
+// optional remainder tree with LrT completely-free leaves and an optional
+// remainder leaf with nrL nodes. Every full leaf uses all its uplinks, so
+// the common L2 set S is the entire L2 level and what couples the trees is
+// spine availability: each L2 index i needs a spine set S*_i of size LT free
+// in every chosen full tree, with the remainder tree drawing its smaller
+// subsets from S*_i. Links must have residual of at least demand.
+//
+// steps bounds the number of backtracking extensions explored (a guard
+// against pathological states; Jigsaw's restriction keeps real searches tiny).
+func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps *int) (*partition.Partition, bool) {
+	t := st.Tree
+	nL := t.NodesPerLeaf
+	treesNeeded := T
+	hasRem := LrT > 0 || nrL > 0
+	if hasRem {
+		treesNeeded++
+	}
+	if T < 1 || LT < 1 || LT > t.LeavesPerPod || nrL >= nL || treesNeeded > t.Pods {
+		return nil, false
+	}
+	if LrT*nL+nrL >= LT*nL {
+		return nil, false // remainder tree must be strictly smaller
+	}
+
+	// Per-pod candidate information.
+	freeLeaves := make([][]int, t.Pods) // fully-free leaf indices per pod
+	spine := make([][]uint64, t.Pods)   // per pod, per L2 index: free-spine mask
+	for p := 0; p < t.Pods; p++ {
+		for l := 0; l < t.LeavesPerPod; l++ {
+			if st.WholeLeafAvailable(t.LeafIndex(p, l), demand) {
+				freeLeaves[p] = append(freeLeaves[p], l)
+			}
+		}
+		spine[p] = make([]uint64, t.L2PerPod)
+		for i := 0; i < t.L2PerPod; i++ {
+			spine[p][i] = st.SpineMask(p, i, demand)
+		}
+	}
+
+	chosen := make([]int, 0, T)
+	inUse := make([]bool, t.Pods)
+	f := make([]uint64, t.L2PerPod) // running per-L2 spine intersection
+
+	// tryRemainder completes the allocation given the chosen full pods and
+	// intersection masks f.
+	tryRemainder := func() (*partition.Partition, bool) {
+		remPod, remLeaf := -1, -1
+		var sr []int
+		if hasRem {
+		pods:
+			for p := 0; p < t.Pods; p++ {
+				if inUse[p] || len(freeLeaves[p]) < LrT {
+					continue
+				}
+				// All L2 indices need LrT spines free in the remainder pod
+				// within the (eventual) S*_i ⊆ f_i.
+				for i := 0; i < t.L2PerPod; i++ {
+					if bits.OnesCount64(f[i]&spine[p][i]) < LrT {
+						continue pods
+					}
+				}
+				if nrL == 0 {
+					remPod = p
+					break
+				}
+				// Find a remainder leaf: not one of the LrT full leaves,
+				// with nrL free nodes, and at least nrL L2 indices i where
+				// its uplink is free and f_i ∩ spine_i supports LrT+1.
+				taken := map[int]bool{}
+				for k := 0; k < LrT; k++ {
+					taken[freeLeaves[p][k]] = true
+				}
+				for l := 0; l < t.LeavesPerPod; l++ {
+					if taken[l] {
+						continue
+					}
+					leafIdx := t.LeafIndex(p, l)
+					if st.FreeInLeaf(leafIdx) < nrL {
+						continue
+					}
+					up := st.LeafUpMask(leafIdx, demand)
+					var cand []int
+					for i := 0; i < t.L2PerPod && len(cand) < nrL; i++ {
+						if up&(1<<i) != 0 && bits.OnesCount64(f[i]&spine[p][i]) >= LrT+1 {
+							cand = append(cand, i)
+						}
+					}
+					if len(cand) == nrL {
+						remPod, remLeaf, sr = p, l, cand
+						break pods
+					}
+				}
+			}
+			if remPod < 0 {
+				return nil, false
+			}
+		}
+
+		// Choose spine sets: S*_i takes the remainder tree's requirement
+		// from f_i ∩ spine[remPod][i] first, then fills to LT from f_i.
+		srMask := uint64(0)
+		for _, i := range sr {
+			srMask |= 1 << i
+		}
+		spineSet := make(map[int][]int, t.L2PerPod)
+		var spineSetR map[int][]int
+		if hasRem {
+			spineSetR = make(map[int][]int, t.L2PerPod)
+		}
+		for i := 0; i < t.L2PerPod; i++ {
+			if !hasRem {
+				spineSet[i] = lowestBits(f[i], LT)
+				continue
+			}
+			req := LrT
+			if srMask&(1<<i) != 0 {
+				req++
+			}
+			rsel := lowestBits(f[i]&spine[remPod][i], req)
+			var rm uint64
+			for _, s := range rsel {
+				rm |= 1 << s
+			}
+			fill := lowestBits(f[i]&^rm, LT-req)
+			all := append(append([]int{}, rsel...), fill...)
+			sortInts(all)
+			sortInts(rsel)
+			spineSet[i] = all
+			spineSetR[i] = rsel
+		}
+
+		s := make([]int, t.L2PerPod)
+		for i := range s {
+			s[i] = i
+		}
+		trees := make([]partition.TreeAlloc, 0, treesNeeded)
+		for _, p := range chosen {
+			leaves := make([]partition.LeafAlloc, 0, LT)
+			for k := 0; k < LT; k++ {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: freeLeaves[p][k], N: nL})
+			}
+			trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
+		}
+		if hasRem {
+			leaves := make([]partition.LeafAlloc, 0, LrT+1)
+			for k := 0; k < LrT; k++ {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: freeLeaves[remPod][k], N: nL})
+			}
+			if nrL > 0 {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
+			}
+			trees = append(trees, partition.TreeAlloc{Pod: remPod, Leaves: leaves, Remainder: true})
+		}
+		sortInts(sr)
+		part := &partition.Partition{
+			NL: nL, LT: LT, S: s, Sr: sr,
+			SpineSet: spineSet, SpineSetR: spineSetR,
+			Trees: trees,
+		}
+		if nrL == 0 {
+			part.Sr = nil
+		}
+		return part, true
+	}
+
+	var rec func(start int) (*partition.Partition, bool)
+	rec = func(start int) (*partition.Partition, bool) {
+		if len(chosen) == T {
+			return tryRemainder()
+		}
+		for p := start; p <= t.Pods-(T-len(chosen)); p++ {
+			if len(freeLeaves[p]) < LT {
+				continue
+			}
+			if *steps <= 0 {
+				return nil, false
+			}
+			*steps--
+			// Intersect spine masks; prune if any L2 drops below LT.
+			var saved [64]uint64
+			ok := true
+			for i := 0; i < t.L2PerPod; i++ {
+				saved[i] = f[i]
+				f[i] &= spine[p][i]
+				if bits.OnesCount64(f[i]) < LT {
+					ok = false
+				}
+			}
+			if ok {
+				chosen = append(chosen, p)
+				inUse[p] = true
+				if part, found := rec(p + 1); found {
+					return part, true
+				}
+				inUse[p] = false
+				chosen = chosen[:len(chosen)-1]
+			}
+			for i := 0; i < t.L2PerPod; i++ {
+				f[i] = saved[i]
+			}
+		}
+		return nil, false
+	}
+
+	for i := range f {
+		f[i] = ^uint64(0) >> (64 - t.SpinesPerGroup)
+	}
+	return rec(0)
+}
+
+// sortInts is a tiny insertion sort; index sets here have at most radix/2
+// elements.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// The CSV emitters below write each experiment's data in a one-row-per-
+// observation form suitable for plotting tools, so the paper's figures can
+// be regenerated graphically from the same runs the text tables report.
+
+// Figure6CSV writes trace,scheme,utilization rows.
+func Figure6CSV(cfg Config, w io.Writer) error {
+	rows, err := Figure6Data(cfg)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "scheme", "utilization"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, s := range Schemes {
+			if err := cw.Write([]string{r.Trace, s, fmtF(r.Util[s])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table2CSV writes scheme,bucket,count rows.
+func Table2CSV(cfg Config, w io.Writer) error {
+	data, err := Table2Data(cfg)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scheme", "bucket", "count"}); err != nil {
+		return err
+	}
+	for _, scheme := range []string{"LaaS", "Jigsaw", "TA"} {
+		for i, c := range data[scheme] {
+			if err := cw.Write([]string{scheme, metrics.Table2Labels[i], strconv.Itoa(c)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure7CSV writes trace,scenario,scheme,norm_turnaround_all,norm_turnaround_large rows.
+func Figure7CSV(cfg Config, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "scenario", "scheme", "norm_all", "norm_large"}); err != nil {
+		return err
+	}
+	for _, tr := range []*trace.Trace{trace.AugCab(cfg.scale()), trace.OctCab(cfg.scale())} {
+		d, err := Figure7Data(cfg, tr)
+		if err != nil {
+			return err
+		}
+		for _, sc := range scenario.All() {
+			for _, scheme := range IsolatingSchemes {
+				c := d.Cells[sc.Name()][scheme]
+				if err := cw.Write([]string{tr.Name, sc.Name(), scheme, fmtF(c.All), fmtF(c.Large)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure8CSV writes trace,scenario,scheme,norm_makespan rows.
+func Figure8CSV(cfg Config, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "scenario", "scheme", "norm_makespan"}); err != nil {
+		return err
+	}
+	for _, tr := range []*trace.Trace{trace.ThunderLike(cfg.scale()), trace.AtlasLike(cfg.scale())} {
+		d, err := Figure8Data(cfg, tr)
+		if err != nil {
+			return err
+		}
+		for _, sc := range scenario.All() {
+			for _, scheme := range IsolatingSchemes {
+				if err := cw.Write([]string{tr.Name, sc.Name(), scheme, fmtF(d.Cells[sc.Name()][scheme])}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table3CSV writes trace,scheme,seconds_per_job rows.
+func Table3CSV(cfg Config, w io.Writer) error {
+	data, names, err := Table3Data(cfg)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "scheme", "seconds_per_job"}); err != nil {
+		return err
+	}
+	for _, n := range names {
+		for _, scheme := range []string{"TA", "LaaS", "Jigsaw", "LC+S"} {
+			if err := cw.Write([]string{n, scheme, fmtF(data[scheme][n])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }

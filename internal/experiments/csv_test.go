@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFigure6CSVWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every trace and scheme")
+	}
+	var buf bytes.Buffer
+	if err := Figure6CSV(Config{Scale: 0.002}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+9*len(Schemes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		u, err := strconv.ParseFloat(r[2], 64)
+		if err != nil || u < 0 || u > 1 {
+			t.Fatalf("bad utilization cell %v", r)
+		}
+	}
+}
+
+func TestTable2CSVWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates Thunder three times")
+	}
+	var buf bytes.Buffer
+	if err := Table2CSV(Config{Scale: 0.002}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+3*6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestTable3CSVWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates four traces under four schemes")
+	}
+	var buf bytes.Buffer
+	if err := Table3CSV(Config{Scale: 0.002}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 1+4*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if _, err := strconv.ParseFloat(r[2], 64); err != nil {
+			t.Fatalf("bad timing cell %v", r)
+		}
+	}
+}

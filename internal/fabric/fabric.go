@@ -1,0 +1,200 @@
+// Package fabric is a flow-level network simulator for the fat-tree: given
+// concurrently-running jobs, their node placements, their communication
+// patterns, and a routing function, it computes each flow's max-min fair
+// share of link bandwidth and each job's slowdown relative to running alone.
+//
+// This substantiates the paper's motivation (Section 2.2): under traditional
+// scheduling, jobs share links and communication-heavy neighbours can slow
+// each other down by large factors even on a full-bandwidth fat-tree with
+// static routing; under Jigsaw's isolated partitions the worst-case
+// inter-job slowdown is exactly zero because no link is shared. It also
+// reproduces the observation (Hoefler et al.) that static D-mod-k routing
+// contends with itself on adverse permutations — multistage switches are not
+// crossbars — while Jigsaw's per-partition routing of the same permutation
+// is contention-free.
+//
+// The model: every directed link (node injection/ejection, leaf<->L2,
+// L2<->spine) has unit capacity; a flow's rate is its max-min fair share
+// along its path (progressive filling); a job's communication time scales
+// with the reciprocal of its slowest flow, the behaviour of synchronized
+// collectives.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// RouteFunc returns the route for one flow.
+type RouteFunc func(src, dst topology.NodeID) (routing.Route, error)
+
+// Traffic describes one job's communication.
+type Traffic struct {
+	// Name labels the job in reports.
+	Name string
+	// Nodes maps rank to node (the job's placement).
+	Nodes []topology.NodeID
+	// Flows lists (src rank, dst rank) pairs.
+	Flows [][2]int
+	// Route routes one flow; use DModKRouter or a PartitionRouter.
+	Route RouteFunc
+}
+
+// Stats summarizes one job's outcome.
+type Stats struct {
+	Name string
+	// MinRate and MeanRate are fair-share rates relative to link capacity.
+	MinRate, MeanRate float64
+	// MaxLinkFlows is the largest number of flows sharing any link the job
+	// uses (1 means no sharing anywhere).
+	MaxLinkFlows int
+}
+
+// Slowdown returns the job's communication slowdown relative to an ideal
+// contention-free run (worst-flow model): 1.0 means no interference.
+func (s Stats) Slowdown() float64 {
+	if s.MinRate <= 0 {
+		return 0
+	}
+	return 1 / s.MinRate
+}
+
+// linkKey identifies a directed link including the node access links the
+// routing package leaves implicit.
+type linkKey struct {
+	kind int8 // 0 leaf<->L2, 1 L2<->spine, 2 node injection, 3 node ejection
+	up   bool
+	a    int32
+	b    int32
+	c    int32
+}
+
+// flowRef locates a flow within the job list.
+type flowRef struct {
+	job, idx int
+}
+
+// DModKRouter adapts D-mod-k static routing to a RouteFunc.
+func DModKRouter(t *topology.FatTree) RouteFunc {
+	return func(src, dst topology.NodeID) (routing.Route, error) {
+		return routing.DModK(t, src, dst), nil
+	}
+}
+
+// Evaluate computes per-job fair-share statistics for the concurrent jobs.
+func Evaluate(t *topology.FatTree, jobs []Traffic) ([]Stats, error) {
+	type flowState struct {
+		links  []linkKey
+		rate   float64
+		frozen bool
+	}
+	flows := map[flowRef]*flowState{}
+	onLink := map[linkKey][]flowRef{}
+
+	for ji, job := range jobs {
+		for fi, f := range job.Flows {
+			if f[0] < 0 || f[0] >= len(job.Nodes) || f[1] < 0 || f[1] >= len(job.Nodes) {
+				return nil, fmt.Errorf("fabric: job %q flow %d references rank outside placement", job.Name, fi)
+			}
+			src, dst := job.Nodes[f[0]], job.Nodes[f[1]]
+			if src == dst {
+				continue // self-flow: no network traffic
+			}
+			r, err := job.Route(src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: job %q flow %d: %w", job.Name, fi, err)
+			}
+			ref := flowRef{ji, fi}
+			fs := &flowState{}
+			fs.links = append(fs.links,
+				linkKey{kind: 2, a: int32(src)},
+				linkKey{kind: 3, a: int32(dst)},
+			)
+			for _, l := range r.Links(t) {
+				fs.links = append(fs.links, linkKey{kind: l.Kind, up: l.Up, a: l.A, b: l.B, c: l.C})
+			}
+			flows[ref] = fs
+			for _, lk := range fs.links {
+				onLink[lk] = append(onLink[lk], ref)
+			}
+		}
+	}
+
+	// Progressive filling: repeatedly saturate the tightest link.
+	remCap := map[linkKey]float64{}
+	remCnt := map[linkKey]int{}
+	for lk, fl := range onLink {
+		remCap[lk] = 1.0
+		remCnt[lk] = len(fl)
+	}
+	active := len(flows)
+	for active > 0 {
+		// Find the bottleneck: the link with the smallest fair increment.
+		var bott linkKey
+		best := -1.0
+		for lk, cnt := range remCnt {
+			if cnt == 0 {
+				continue
+			}
+			inc := remCap[lk] / float64(cnt)
+			if best < 0 || inc < best {
+				best = inc
+				bott = lk
+			}
+		}
+		if best < 0 {
+			break // no shared links left; remaining flows are uncapped
+		}
+		// Freeze every active flow on the bottleneck at its fair share.
+		for _, ref := range onLink[bott] {
+			fs := flows[ref]
+			if fs.frozen {
+				continue
+			}
+			fs.rate = best
+			fs.frozen = true
+			active--
+			for _, lk := range fs.links {
+				remCap[lk] -= best
+				remCnt[lk]--
+			}
+		}
+	}
+
+	// Uncapped flows (possible only if they traversed no links, filtered
+	// above) and stats.
+	stats := make([]Stats, len(jobs))
+	for ji, job := range jobs {
+		st := Stats{Name: job.Name, MinRate: 1, MaxLinkFlows: 1}
+		sum, n := 0.0, 0
+		for fi := range job.Flows {
+			fs, ok := flows[flowRef{ji, fi}]
+			if !ok {
+				continue // intra-node
+			}
+			rate := fs.rate
+			if !fs.frozen {
+				rate = 1
+			}
+			if rate < st.MinRate {
+				st.MinRate = rate
+			}
+			sum += rate
+			n++
+			for _, lk := range fs.links {
+				if c := len(onLink[lk]); c > st.MaxLinkFlows {
+					st.MaxLinkFlows = c
+				}
+			}
+		}
+		if n > 0 {
+			st.MeanRate = sum / float64(n)
+		} else {
+			st.MeanRate = 1
+		}
+		stats[ji] = st
+	}
+	return stats, nil
+}

@@ -1,0 +1,230 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// routesFunc adapts a precomputed route list (e.g. from RoutePermutation) to
+// a RouteFunc.
+func routesFunc(rs []routing.Route) RouteFunc {
+	m := map[[2]topology.NodeID]routing.Route{}
+	for _, r := range rs {
+		m[[2]topology.NodeID{r.Src, r.Dst}] = r
+	}
+	return func(src, dst topology.NodeID) (routing.Route, error) {
+		r, ok := m[[2]topology.NodeID{src, dst}]
+		if !ok {
+			return routing.Route{}, fmt.Errorf("no precomputed route %d->%d", src, dst)
+		}
+		return r, nil
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	if got := (Shift{K: 1}).Flows(4); len(got) != 4 || got[3] != [2]int{3, 0} {
+		t.Fatalf("shift flows wrong: %v", got)
+	}
+	if got := (AllToAll{}).Flows(4); len(got) != 12 {
+		t.Fatalf("all-to-all count = %d", len(got))
+	}
+	if got := (Ring{}).Flows(4); len(got) != 8 {
+		t.Fatalf("ring count = %d", len(got))
+	}
+	perm := RandomPermutation{Seed: 1}.Flows(16)
+	seen := map[int]bool{}
+	for _, f := range perm {
+		if seen[f[1]] {
+			t.Fatal("permutation pattern repeated a destination")
+		}
+		seen[f[1]] = true
+	}
+}
+
+// TestJigsawPartitionHasZeroInterference is the paper's central guarantee in
+// flow-level form: two jobs in Jigsaw partitions see exactly the same rates
+// together as each sees alone.
+func TestJigsawPartitionHasZeroInterference(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	mk := func(job int, size int) Traffic {
+		p, ok := a.FindPartition(size)
+		if !ok {
+			t.Fatalf("no partition for %d", size)
+		}
+		pl := p.Placement(tree, topology.JobID(job), 1)
+		pl.Apply(a.State())
+		perm := rand.New(rand.NewSource(int64(job))).Perm(size)
+		routes, err := routing.RoutePermutation(tree, p, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := routing.PartitionNodes(tree, p)
+		flows := make([][2]int, size)
+		for i, j := range perm {
+			flows[i] = [2]int{i, j}
+		}
+		return Traffic{Name: fmt.Sprint(job), Nodes: nodes, Flows: flows, Route: routesFunc(routes)}
+	}
+	j1 := mk(1, 24)
+	j2 := mk(2, 30)
+
+	alone1, err := Evaluate(tree, []Traffic{j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone2, err := Evaluate(tree, []Traffic{j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Evaluate(tree, []Traffic{j1, j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0] != Stats(alone1[0]) || both[1] != Stats(alone2[0]) {
+		t.Fatalf("interference detected: alone %+v/%+v vs together %+v/%+v",
+			alone1[0], alone2[0], both[0], both[1])
+	}
+	// And the permutation routing is contention-free: slowdown exactly 1.
+	if both[0].Slowdown() != 1 || both[1].Slowdown() != 1 {
+		t.Fatalf("Jigsaw jobs should see no contention at all: %+v %+v", both[0], both[1])
+	}
+}
+
+// TestBaselineSharingCausesSlowdown reproduces Section 2.2: under the
+// traditional scheduler two communication-heavy neighbours share leaf
+// uplinks and slow down.
+func TestBaselineSharingCausesSlowdown(t *testing.T) {
+	tree := topology.MustNew(8)
+	// The traditional scheduler hands out whatever nodes are free; after
+	// churn, two-node jobs end up with one node on a shared leaf and a
+	// partner whose D-mod-k uplink choice collides with the neighbour's:
+	// both flows below leave leaf 0 on the uplink to L2 switch 0 because
+	// their destinations (16 and 20) are congruent mod L2PerPod.
+	jobs := []Traffic{
+		{Name: "a", Nodes: []topology.NodeID{0, 16}, Flows: [][2]int{{0, 1}, {1, 0}}, Route: DModKRouter(tree)},
+		{Name: "b", Nodes: []topology.NodeID{2, 20}, Flows: [][2]int{{0, 1}, {1, 0}}, Route: DModKRouter(tree)},
+	}
+	alone, err := Evaluate(tree, jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Evaluate(tree, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0].Slowdown() <= alone[0].Slowdown() {
+		t.Fatalf("expected inter-job interference under baseline: alone %.2f, together %.2f",
+			alone[0].Slowdown(), both[0].Slowdown())
+	}
+}
+
+// TestDModKSelfContention reproduces the Hoefler et al. observation the
+// paper cites: static D-mod-k routing contends with itself on adverse
+// permutations even for a job running completely alone, whereas the
+// partition-aware permutation routing of the same traffic is clean.
+func TestDModKSelfContention(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	size := 32
+	p, ok := a.FindPartition(size)
+	if !ok {
+		t.Fatal("no partition")
+	}
+	nodes := routing.PartitionNodes(tree, p)
+	// Adverse "transpose" permutation between the two pods: node (leaf l,
+	// slot s) of one pod sends to node (leaf s, slot l) of the other, so
+	// all four flows leaving a leaf want the same D-mod-k L2 index.
+	npl := tree.NodesPerLeaf
+	lpp := tree.LeavesPerPod
+	pod := npl * lpp
+	perm := make([]int, size)
+	flows := make([][2]int, size)
+	for i := range perm {
+		l, s := (i%pod)/npl, i%npl
+		other := pod - (i/pod)*pod // 16 for pod-0 sources, 0 for pod-1
+		perm[i] = other + s*npl + l
+		flows[i] = [2]int{i, perm[i]}
+	}
+
+	static, err := Evaluate(tree, []Traffic{{Name: "dmodk", Nodes: nodes, Flows: flows, Route: DModKRouter(tree)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.RoutePermutation(tree, p, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := Evaluate(tree, []Traffic{{Name: "opt", Nodes: nodes, Flows: flows, Route: routesFunc(routes)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal[0].Slowdown() != 1 {
+		t.Fatalf("permutation routing must be contention-free, got %.2f", optimal[0].Slowdown())
+	}
+	if static[0].Slowdown() <= 1 {
+		t.Fatalf("expected D-mod-k self-contention on the adverse permutation, got %.2f", static[0].Slowdown())
+	}
+}
+
+// TestAllToAllInjectionLimited: with every rank sending to every other rank,
+// flows are limited by the injection link regardless of the fabric, so the
+// minimum rate is 1/(n-1).
+func TestAllToAllInjectionLimited(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	size := 8
+	p, _ := a.FindPartition(size)
+	nodes := routing.PartitionNodes(tree, p)
+	pr := routing.NewPartitionRouter(tree, p)
+	stats, err := Evaluate(tree, []Traffic{{
+		Name:  "a2a",
+		Nodes: nodes,
+		Flows: AllToAll{}.Flows(size),
+		Route: func(s, d topology.NodeID) (routing.Route, error) { return pr.Route(s, d) },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRate := 1.0 / float64(size-1)
+	if stats[0].MinRate > maxRate+1e-9 {
+		t.Fatalf("all-to-all min rate %.4f exceeds injection bound %.4f", stats[0].MinRate, maxRate)
+	}
+	if stats[0].MinRate <= 0 {
+		t.Fatal("rates must be positive")
+	}
+}
+
+func TestEvaluateRejectsBadRanks(t *testing.T) {
+	tree := topology.MustNew(8)
+	_, err := Evaluate(tree, []Traffic{{
+		Name:  "bad",
+		Nodes: []topology.NodeID{0, 1},
+		Flows: [][2]int{{0, 5}},
+		Route: DModKRouter(tree),
+	}})
+	if err == nil {
+		t.Fatal("out-of-range rank must error")
+	}
+}
+
+func TestIntraNodeFlowsAreFree(t *testing.T) {
+	tree := topology.MustNew(8)
+	stats, err := Evaluate(tree, []Traffic{{
+		Name:  "self",
+		Nodes: []topology.NodeID{0, 1},
+		Flows: [][2]int{{0, 0}, {1, 1}},
+		Route: DModKRouter(tree),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].MinRate != 1 || stats[0].MeanRate != 1 {
+		t.Fatalf("self flows should not contend: %+v", stats[0])
+	}
+}

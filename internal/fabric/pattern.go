@@ -1,0 +1,80 @@
+package fabric
+
+import "math/rand"
+
+// Pattern generates the flow list of a communication pattern over n ranks.
+type Pattern interface {
+	Name() string
+	Flows(n int) [][2]int
+}
+
+// Shift is the cyclic shift permutation rank i -> (i+K) mod n, the classic
+// adversary for static fat-tree routing (D-mod-k is provably non-blocking
+// only for shift permutations on *aligned* placements).
+type Shift struct{ K int }
+
+// Name implements Pattern.
+func (s Shift) Name() string { return "shift" }
+
+// Flows implements Pattern.
+func (s Shift) Flows(n int) [][2]int {
+	out := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, [2]int{i, (i + s.K) % n})
+	}
+	return out
+}
+
+// RandomPermutation sends one flow per rank to a random unique partner.
+type RandomPermutation struct{ Seed int64 }
+
+// Name implements Pattern.
+func (RandomPermutation) Name() string { return "permutation" }
+
+// Flows implements Pattern.
+func (p RandomPermutation) Flows(n int) [][2]int {
+	perm := rand.New(rand.NewSource(p.Seed)).Perm(n)
+	out := make([][2]int, 0, n)
+	for i, j := range perm {
+		out = append(out, [2]int{i, j})
+	}
+	return out
+}
+
+// AllToAll sends one flow from every rank to every other rank (personalized
+// exchange, e.g. MPI_Alltoall).
+type AllToAll struct{}
+
+// Name implements Pattern.
+func (AllToAll) Name() string { return "all-to-all" }
+
+// Flows implements Pattern.
+func (AllToAll) Flows(n int) [][2]int {
+	out := make([][2]int, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Ring is a nearest-neighbour exchange in both directions (1-D halo).
+type Ring struct{}
+
+// Name implements Pattern.
+func (Ring) Name() string { return "ring" }
+
+// Flows implements Pattern.
+func (Ring) Flows(n int) [][2]int {
+	if n < 2 {
+		return nil
+	}
+	out := make([][2]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, [2]int{i, (i + 1) % n}, [2]int{i, (i - 1 + n) % n})
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package jigsaws implements Jigsaw+S, the link-sharing relaxation of
+// Jigsaw the paper mentions in Section 5.2.3 ("this relaxation can also be
+// combined with LaaS or Jigsaw"): placements follow Jigsaw's exact
+// conditions and whole-leaf restriction, but links are shared fractionally
+// using the same per-job average-bandwidth classes and 80%-of-peak cap as
+// LC+S. It trades the strict zero-interference guarantee for extra
+// utilization while keeping Jigsaw's fast, fragmentation-resistant search —
+// the middle point between Jigsaw and LC+S.
+package jigsaws
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/lcs"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Allocator implements alloc.Allocator for Jigsaw+S.
+type Allocator struct {
+	tree   *topology.FatTree
+	st     *topology.State
+	budget int
+}
+
+// NewAllocator returns a Jigsaw+S allocator for a pristine tree.
+func NewAllocator(tree *topology.FatTree) *Allocator {
+	return &Allocator{
+		tree:   tree,
+		st:     topology.NewState(tree, lcs.LinkCapacity),
+		budget: core.DefaultSearchBudget,
+	}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "Jigsaw+S" }
+
+// Tree implements alloc.Allocator.
+func (a *Allocator) Tree() *topology.FatTree { return a.tree }
+
+// FreeNodes implements alloc.Allocator.
+func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
+
+// Clone implements alloc.Allocator.
+func (a *Allocator) Clone() alloc.Allocator {
+	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
+}
+
+// FindPartition runs the Jigsaw search at the job's bandwidth class without
+// charging the result.
+func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	return core.Search(a.st, lcs.DemandFor(job), size, false, a.budget)
+}
+
+// Allocate implements alloc.Allocator.
+func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
+	p, ok := a.FindPartition(job, size)
+	if !ok {
+		return nil, false
+	}
+	pl := p.Placement(a.tree, job, lcs.DemandFor(job))
+	pl.Apply(a.st)
+	return pl, true
+}
+
+// Release implements alloc.Allocator.
+func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// Mirror implements alloc.Allocator.
+func (a *Allocator) Mirror(p *topology.Placement) { p.Apply(a.st) }

@@ -1,0 +1,110 @@
+// Package laas implements the Links-as-a-Service (LaaS) comparison scheme
+// (Zahavi et al., ANCS 2016; Section 5.2.1 of the Jigsaw paper). LaaS
+// allocates dedicated links like Jigsaw but reduces the three-level problem
+// to two levels by allocating whole leaves: entire leaves take the place of
+// nodes, L2 switches the place of leaves, and spines the place of L2
+// switches. Job sizes are therefore rounded up to the nearest multiple of
+// the leaf size, causing the internal node fragmentation of Figure 2 (left):
+// rounded-up nodes are charged to the job but do no work.
+package laas
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Allocator implements alloc.Allocator at whole-leaf granularity.
+type Allocator struct {
+	tree   *topology.FatTree
+	st     *topology.State
+	budget int
+}
+
+// NewAllocator returns a LaaS allocator for a pristine tree.
+func NewAllocator(tree *topology.FatTree) *Allocator {
+	return &Allocator{tree: tree, st: topology.NewState(tree, 1), budget: core.DefaultSearchBudget}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "LaaS" }
+
+// Tree implements alloc.Allocator.
+func (a *Allocator) Tree() *topology.FatTree { return a.tree }
+
+// FreeNodes implements alloc.Allocator.
+func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
+
+// Clone implements alloc.Allocator.
+func (a *Allocator) Clone() alloc.Allocator {
+	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
+}
+
+// Allocate implements alloc.Allocator. The placement holds every node of
+// every allocated leaf — ceil(size/NodesPerLeaf)*NodesPerLeaf of them —
+// even though the job uses only size; the surplus is LaaS's internal
+// fragmentation and is what depresses its utilization in the paper.
+func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
+	t := a.tree
+	if size < 1 {
+		return nil, false
+	}
+	leaves := (size + t.NodesPerLeaf - 1) / t.NodesPerLeaf
+	if leaves > t.Leaves() || leaves*t.NodesPerLeaf > a.st.FreeNodes() {
+		return nil, false
+	}
+
+	// Single-subtree allocations first, exactly as in Jigsaw's search but
+	// at whole-leaf granularity.
+	if leaves <= t.LeavesPerPod {
+		for pod := 0; pod < t.Pods; pod++ {
+			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0); ok {
+				pl := p.Placement(t, job, 1)
+				pl.Apply(a.st)
+				return pl, true
+			}
+		}
+	}
+
+	// Multi-subtree: distribute whole leaves evenly across pods — the
+	// reduced two-level problem. lT leaves per full pod plus a remainder
+	// pod with lrT leaves.
+	for lt := t.LeavesPerPod; lt >= 1; lt-- {
+		pods := leaves / lt
+		lrT := leaves % lt
+		if pods < 1 {
+			continue
+		}
+		if pods == 1 && lrT == 0 {
+			continue // single-subtree shape already tried
+		}
+		need := pods
+		if lrT > 0 {
+			need++
+		}
+		if need > t.Pods {
+			continue
+		}
+		steps := a.budget
+		if p, ok := core.FindThreeLevel(a.st, 1, pods, lt, lrT, 0, &steps); ok {
+			pl := p.Placement(t, job, 1)
+			pl.Apply(a.st)
+			return pl, true
+		}
+	}
+	return nil, false
+}
+
+// Release implements alloc.Allocator.
+func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// RoundedSize returns the node count LaaS actually allocates for a request:
+// size rounded up to whole leaves.
+func (a *Allocator) RoundedSize(size int) int {
+	npl := a.tree.NodesPerLeaf
+	return (size + npl - 1) / npl * npl
+}
+
+// Mirror implements alloc.Allocator: it charges an externally-produced
+// placement against this allocator's state (used for what-if snapshots).
+func (a *Allocator) Mirror(p *topology.Placement) { p.Apply(a.st) }

@@ -1,0 +1,472 @@
+// Package lcs implements LC+S, the paper's theoretical bounding scheme
+// (Section 5.2.3): least-constrained scheduling with link sharing. Jobs may
+// take any placement that is legal under the formal conditions of Section
+// 3.2 — including general per-leaf node counts at three levels, which Jigsaw
+// deliberately restricts — and links are shared fractionally: each job
+// carries an average per-link bandwidth demand, and a link is usable while
+// the sum of demands stays under 80% of its peak bandwidth (Section 5.4.2).
+//
+// The paper marks LC+S impractical for real systems because per-job
+// bandwidth needs are not available to real schedulers, and because its
+// search space is so large that a per-job timeout is required. Wall-clock
+// timeouts are machine-dependent and nondeterministic, so this
+// implementation substitutes a fixed search-step budget with the same
+// effect: allocations are usually found quickly, and pathological searches
+// are cut off (the job simply stays queued). See DESIGN.md.
+package lcs
+
+import (
+	"math/bits"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Bandwidth model, in units of 0.1 GB/s (Section 5.4.2): peak link bandwidth
+// 5 GB/s, total utilization of each link capped at 80%, and four job classes
+// from 0.5 to 2.0 GB/s per link.
+const (
+	// LinkCapacity is the usable per-link bandwidth: 80% of 5 GB/s.
+	LinkCapacity = 40
+	// DefaultBudget bounds search steps per allocation attempt, standing in
+	// for the paper's 5-second wall-clock timeout.
+	DefaultBudget = 60_000
+	// maxSolutionsPerPod caps the per-pod sub-solution enumeration in the
+	// general three-level search.
+	maxSolutionsPerPod = 6
+)
+
+// classes are the per-link bandwidth demands jobs are randomly assigned to.
+var classes = [4]int32{5, 10, 15, 20}
+
+// DemandFor returns the bandwidth class of a job. The assignment is a
+// deterministic hash of the job ID so that repeated runs (and cloned
+// allocators) agree.
+func DemandFor(job topology.JobID) int32 {
+	x := uint64(job) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	return classes[x%4]
+}
+
+// Allocator implements alloc.Allocator for LC+S.
+type Allocator struct {
+	tree   *topology.FatTree
+	st     *topology.State
+	budget int
+}
+
+// NewAllocator returns an LC+S allocator for a pristine tree.
+func NewAllocator(tree *topology.FatTree) *Allocator {
+	return &Allocator{tree: tree, st: topology.NewState(tree, LinkCapacity), budget: DefaultBudget}
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "LC+S" }
+
+// Tree implements alloc.Allocator.
+func (a *Allocator) Tree() *topology.FatTree { return a.tree }
+
+// FreeNodes implements alloc.Allocator.
+func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
+
+// Clone implements alloc.Allocator.
+func (a *Allocator) Clone() alloc.Allocator {
+	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
+}
+
+// Release implements alloc.Allocator.
+func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// Allocate implements alloc.Allocator.
+func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
+	p, ok := a.FindPartition(job, size)
+	if !ok {
+		return nil, false
+	}
+	return a.commit(p, job, DemandFor(job))
+}
+
+// FindPartition searches for a least-constrained partition of the given size
+// at the job's bandwidth class, without charging it against the state.
+func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	t := a.tree
+	if size < 1 || size > a.st.FreeNodes() {
+		return nil, false
+	}
+	demand := DemandFor(job)
+	steps := a.budget
+
+	// Two-level (single-subtree) placements first, over all factorizations,
+	// sharing Jigsaw's search at the job's bandwidth demand.
+	maxNL := t.NodesPerLeaf
+	if size < maxNL {
+		maxNL = size
+	}
+	for nL := maxNL; nL >= 1; nL-- {
+		lt := size / nL
+		nrL := size % nL
+		need := lt
+		if nrL > 0 {
+			need++
+		}
+		if lt < 1 || need > t.LeavesPerPod {
+			continue
+		}
+		for pod := 0; pod < t.Pods; pod++ {
+			steps--
+			if steps <= 0 {
+				return nil, false
+			}
+			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL); ok {
+				return p, true
+			}
+		}
+	}
+
+	// General three-level placements: unlike Jigsaw, any per-leaf node
+	// count nL is allowed (the least-constrained space).
+	for nL := t.NodesPerLeaf; nL >= 1; nL-- {
+		for lt := t.LeavesPerPod; lt >= 1; lt-- {
+			nT := lt * nL
+			T := size / nT
+			nrT := size % nT
+			if T < 1 || (T == 1 && nrT == 0) {
+				continue
+			}
+			need := T
+			if nrT > 0 {
+				need++
+			}
+			if need > t.Pods {
+				continue
+			}
+			if p, ok := a.findGeneral(demand, T, lt, nL, nrT/nL, nrT%nL, &steps); ok {
+				return p, true
+			}
+			if steps <= 0 {
+				return nil, false
+			}
+		}
+	}
+	return nil, false
+}
+
+func (a *Allocator) commit(p *partition.Partition, job topology.JobID, demand int32) (*topology.Placement, bool) {
+	pl := p.Placement(a.tree, job, demand)
+	pl.Apply(a.st)
+	return pl, true
+}
+
+// subSolution is one way to carve lt leaves with nL nodes each out of a pod.
+type subSolution struct {
+	leaves []int  // within-pod leaf indices
+	mask   uint64 // intersection of the leaves' free-uplink masks
+}
+
+// podSolutions enumerates up to maxSolutionsPerPod sub-solutions for a pod.
+func (a *Allocator) podSolutions(demand int32, pod, lt, nL int, steps *int) []subSolution {
+	t := a.tree
+	type leafInfo struct {
+		up   uint64
+		free int
+	}
+	info := make([]leafInfo, t.LeavesPerPod)
+	for l := 0; l < t.LeavesPerPod; l++ {
+		leafIdx := t.LeafIndex(pod, l)
+		info[l] = leafInfo{up: a.st.LeafUpMask(leafIdx, demand), free: a.st.FreeInLeaf(leafIdx)}
+	}
+	var sols []subSolution
+	chosen := make([]int, 0, lt)
+	var rec func(start int, m uint64)
+	rec = func(start int, m uint64) {
+		if len(sols) >= maxSolutionsPerPod || *steps <= 0 {
+			return
+		}
+		if len(chosen) == lt {
+			sols = append(sols, subSolution{leaves: append([]int(nil), chosen...), mask: m})
+			return
+		}
+		for l := start; l <= t.LeavesPerPod-(lt-len(chosen)); l++ {
+			*steps--
+			if *steps <= 0 {
+				return
+			}
+			if info[l].free < nL {
+				continue
+			}
+			nm := m & info[l].up
+			if bits.OnesCount64(nm) < nL {
+				continue
+			}
+			chosen = append(chosen, l)
+			rec(l+1, nm)
+			chosen = chosen[:len(chosen)-1]
+			if len(sols) >= maxSolutionsPerPod {
+				return
+			}
+		}
+	}
+	rec(0, ^uint64(0)>>(64-t.L2PerPod))
+	return sols
+}
+
+// findGeneral searches for a least-constrained three-level partition:
+// T full trees of lt leaves x nL nodes sharing a common L2 set S (|S| = nL)
+// and per-L2 spine sets of size lt, plus an optional remainder tree with
+// LrT full leaves and an nrL-node remainder leaf.
+func (a *Allocator) findGeneral(demand int32, T, lt, nL, LrT, nrL int, steps *int) (*partition.Partition, bool) {
+	t := a.tree
+	hasRem := LrT > 0 || nrL > 0
+
+	// Per-pod spine masks and sub-solutions.
+	spine := make([][]uint64, t.Pods)
+	sols := make([][]subSolution, t.Pods)
+	for p := 0; p < t.Pods; p++ {
+		spine[p] = make([]uint64, t.L2PerPod)
+		for i := 0; i < t.L2PerPod; i++ {
+			spine[p][i] = a.st.SpineMask(p, i, demand)
+		}
+		sols[p] = a.podSolutions(demand, p, lt, nL, steps)
+		if *steps <= 0 {
+			return nil, false
+		}
+	}
+
+	chosen := make([]int, 0, T)     // pods
+	chosenSol := make([]int, 0, T)  // solution index per chosen pod
+	f := make([]uint64, t.L2PerPod) // per-L2 spine intersection over chosen pods
+	for i := range f {
+		f[i] = ^uint64(0) >> (64 - t.SpinesPerGroup)
+	}
+	inUse := make([]bool, t.Pods)
+
+	// viable returns the mask of L2 indices usable as S members given the
+	// current S-mask intersection.
+	viable := func(sMask uint64) uint64 {
+		var v uint64
+		for i := 0; i < t.L2PerPod; i++ {
+			if sMask&(1<<i) != 0 && bits.OnesCount64(f[i]) >= lt {
+				v |= 1 << i
+			}
+		}
+		return v
+	}
+
+	finish := func(sMask uint64) (*partition.Partition, bool) {
+		remPod, remLeaf := -1, -1
+		var remFull []int
+		var sIdx, srIdx []int
+		if !hasRem {
+			v := viable(sMask)
+			if bits.OnesCount64(v) < nL {
+				return nil, false
+			}
+			sIdx = lowestBitsOf(v, nL)
+		} else {
+			// Try every unused pod as the remainder tree.
+			for p := 0; p < t.Pods && remPod < 0; p++ {
+				if inUse[p] {
+					continue
+				}
+				rsols := a.podSolutions(demand, p, LrT, nL, steps)
+				if *steps <= 0 {
+					return nil, false
+				}
+				if LrT == 0 {
+					rsols = []subSolution{{mask: ^uint64(0) >> (64 - t.L2PerPod)}}
+				}
+				for _, rs := range rsols {
+					// A: indices usable as S members against this pod.
+					var amask uint64
+					for i := 0; i < t.L2PerPod; i++ {
+						bit := uint64(1) << i
+						if sMask&bit == 0 || rs.mask&bit == 0 {
+							continue
+						}
+						if bits.OnesCount64(f[i]) < lt {
+							continue
+						}
+						if bits.OnesCount64(f[i]&spine[p][i]) < LrT {
+							continue
+						}
+						amask |= bit
+					}
+					if bits.OnesCount64(amask) < nL {
+						continue
+					}
+					if nrL == 0 {
+						remPod = p
+						remFull = rs.leaves
+						sIdx = lowestBitsOf(amask, nL)
+						break
+					}
+					// Remainder leaf: free nodes and uplinks into B, where
+					// B also supports one extra spine downlink.
+					taken := map[int]bool{}
+					for _, l := range rs.leaves {
+						taken[l] = true
+					}
+					for l := 0; l < t.LeavesPerPod; l++ {
+						if taken[l] {
+							continue
+						}
+						leafIdx := t.LeafIndex(p, l)
+						if a.st.FreeInLeaf(leafIdx) < nrL {
+							continue
+						}
+						up := a.st.LeafUpMask(leafIdx, demand)
+						var bmask uint64
+						for i := 0; i < t.L2PerPod; i++ {
+							bit := uint64(1) << i
+							if amask&bit != 0 && up&bit != 0 &&
+								bits.OnesCount64(f[i]&spine[p][i]) >= LrT+1 {
+								bmask |= bit
+							}
+						}
+						if bits.OnesCount64(bmask) < nrL {
+							continue
+						}
+						srIdx = lowestBitsOf(bmask, nrL)
+						var srm uint64
+						for _, i := range srIdx {
+							srm |= 1 << i
+						}
+						rest := lowestBitsOf(amask&^srm, nL-nrL)
+						sIdx = append(append([]int{}, srIdx...), rest...)
+						sortInts(sIdx)
+						remPod, remLeaf = p, l
+						remFull = rs.leaves
+						break
+					}
+					if remPod >= 0 {
+						break
+					}
+				}
+			}
+			if remPod < 0 {
+				return nil, false
+			}
+		}
+
+		// Spine sets for i in S.
+		var srm uint64
+		for _, i := range srIdx {
+			srm |= 1 << i
+		}
+		spineSet := map[int][]int{}
+		var spineSetR map[int][]int
+		if hasRem {
+			spineSetR = map[int][]int{}
+		}
+		for _, i := range sIdx {
+			if !hasRem {
+				spineSet[i] = lowestBitsOf(f[i], lt)
+				continue
+			}
+			req := LrT
+			if srm&(1<<i) != 0 {
+				req++
+			}
+			rsel := lowestBitsOf(f[i]&spine[remPod][i], req)
+			var rm uint64
+			for _, s := range rsel {
+				rm |= 1 << s
+			}
+			all := append(append([]int{}, rsel...), lowestBitsOf(f[i]&^rm, lt-req)...)
+			sortInts(all)
+			spineSet[i] = all
+			spineSetR[i] = rsel
+		}
+
+		trees := make([]partition.TreeAlloc, 0, T+1)
+		for k, p := range chosen {
+			leaves := make([]partition.LeafAlloc, 0, lt)
+			for _, l := range sols[p][chosenSol[k]].leaves {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+			}
+			trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
+		}
+		if hasRem {
+			leaves := make([]partition.LeafAlloc, 0, LrT+1)
+			for _, l := range remFull {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+			}
+			if nrL > 0 {
+				leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
+			}
+			trees = append(trees, partition.TreeAlloc{Pod: remPod, Leaves: leaves, Remainder: true})
+		}
+		return &partition.Partition{
+			NL: nL, LT: lt, S: sIdx, Sr: srIdx,
+			SpineSet: spineSet, SpineSetR: spineSetR,
+			Trees: trees,
+		}, true
+	}
+
+	var rec func(start int, sMask uint64) (*partition.Partition, bool)
+	rec = func(start int, sMask uint64) (*partition.Partition, bool) {
+		if len(chosen) == T {
+			return finish(sMask)
+		}
+		for p := start; p <= t.Pods-(T-len(chosen)); p++ {
+			for si, sol := range sols[p] {
+				*steps--
+				if *steps <= 0 {
+					return nil, false
+				}
+				nm := sMask & sol.mask
+				if bits.OnesCount64(nm) < nL {
+					continue
+				}
+				var saved [64]uint64
+				for i := 0; i < t.L2PerPod; i++ {
+					saved[i] = f[i]
+					f[i] &= spine[p][i]
+				}
+				if bits.OnesCount64(viable(nm)) >= nL {
+					chosen = append(chosen, p)
+					chosenSol = append(chosenSol, si)
+					inUse[p] = true
+					if part, ok := rec(p+1, nm); ok {
+						return part, true
+					}
+					inUse[p] = false
+					chosen = chosen[:len(chosen)-1]
+					chosenSol = chosenSol[:len(chosenSol)-1]
+				}
+				for i := 0; i < t.L2PerPod; i++ {
+					f[i] = saved[i]
+				}
+			}
+		}
+		return nil, false
+	}
+	return rec(0, ^uint64(0)>>(64-t.L2PerPod))
+}
+
+func lowestBitsOf(m uint64, n int) []int {
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := bits.TrailingZeros64(m)
+		if i == 64 {
+			panic("lcs: lowestBitsOf underflow")
+		}
+		out = append(out, i)
+		m &^= 1 << i
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Mirror implements alloc.Allocator: it charges an externally-produced
+// placement against this allocator's state (used for what-if snapshots).
+func (a *Allocator) Mirror(p *topology.Placement) { p.Apply(a.st) }

@@ -1,0 +1,214 @@
+// Package lft models the per-switch linear forwarding tables (LFTs) of an
+// InfiniBand-style fat-tree and the on-the-fly table updates Jigsaw needs
+// (Section 4): when a job starts, the subnet manager overwrites the
+// destination-routed up-port entries for the job's destinations on the
+// job's switches so that its traffic uses only allocated links (the
+// wraparound mapping of Figure 5); when the job ends, the D-mod-k defaults
+// are restored.
+//
+// Down-routes on a fat-tree are structural (every switch has exactly one
+// down-path towards a node), so only up-port entries are tabulated: each
+// leaf switch holds one up-port entry per destination, as does each L2
+// switch. Walk follows the tables hop by hop, which lets tests confirm that
+// table-driven forwarding reproduces the analytic routes exactly.
+package lft
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Tables holds every switch's up-port entries.
+type Tables struct {
+	t *topology.FatTree
+	// leafUp[leafIdx][dst] is the L2 index the leaf forwards dst to.
+	leafUp [][]int8
+	// l2Up[pod*L2PerPod+i][dst] is the spine (within group i) the L2
+	// switch forwards dst to.
+	l2Up [][]int8
+	// updates counts table-entry writes since construction (the SDN cost
+	// the paper's related work weighs).
+	updates int
+}
+
+// NewDModK builds the cluster's default D-mod-k tables.
+func NewDModK(t *topology.FatTree) *Tables {
+	tb := &Tables{t: t}
+	n := t.Nodes()
+	tb.leafUp = make([][]int8, t.Leaves())
+	for l := range tb.leafUp {
+		row := make([]int8, n)
+		for dst := 0; dst < n; dst++ {
+			row[dst] = int8(dst % t.L2PerPod)
+		}
+		tb.leafUp[l] = row
+	}
+	tb.l2Up = make([][]int8, t.Pods*t.L2PerPod)
+	for s := range tb.l2Up {
+		row := make([]int8, n)
+		for dst := 0; dst < n; dst++ {
+			row[dst] = int8((dst / t.L2PerPod) % t.SpinesPerGroup)
+		}
+		tb.l2Up[s] = row
+	}
+	tb.updates = 0
+	return tb
+}
+
+// Updates returns the number of individual table-entry writes performed by
+// Install and Remove calls.
+func (tb *Tables) Updates() int { return tb.updates }
+
+// setLeaf writes one leaf up-port entry.
+func (tb *Tables) setLeaf(leafIdx int, dst topology.NodeID, i int8) {
+	if tb.leafUp[leafIdx][dst] != i {
+		tb.leafUp[leafIdx][dst] = i
+		tb.updates++
+	}
+}
+
+// setL2 writes one L2 up-port entry.
+func (tb *Tables) setL2(pod, i int, dst topology.NodeID, s int8) {
+	row := tb.l2Up[pod*tb.t.L2PerPod+i]
+	if row[dst] != s {
+		row[dst] = s
+		tb.updates++
+	}
+}
+
+// Install overwrites the tables of the partition's switches for the
+// partition's destinations so all its traffic stays on allocated links. It
+// returns the number of entries written.
+func (tb *Tables) Install(p *partition.Partition) (int, error) {
+	return tb.program(p, false)
+}
+
+// Remove restores D-mod-k defaults on the partition's switches (job exit).
+func (tb *Tables) Remove(p *partition.Partition) (int, error) {
+	return tb.program(p, true)
+}
+
+// program writes (or restores) every (switch, destination) entry the
+// partition touches.
+func (tb *Tables) program(p *partition.Partition, restore bool) (int, error) {
+	t := tb.t
+	pr := routing.NewPartitionRouter(t, p)
+	nodes := routing.PartitionNodes(t, p)
+	before := tb.updates
+
+	// One representative source node per allocated leaf.
+	repOnLeaf := map[int]topology.NodeID{}
+	for _, n := range nodes {
+		leaf := t.NodeLeaf(n)
+		if _, ok := repOnLeaf[leaf]; !ok {
+			repOnLeaf[leaf] = n
+		}
+	}
+	for leaf, rep := range repOnLeaf {
+		pod := t.LeafPod(leaf)
+		for _, dst := range nodes {
+			if t.NodeLeaf(dst) == leaf {
+				continue // delivered by the leaf's down-ports
+			}
+			var l2, spine int8
+			if restore {
+				l2 = int8(int(dst) % t.L2PerPod)
+				spine = int8((int(dst) / t.L2PerPod) % t.SpinesPerGroup)
+				tb.setLeaf(leaf, dst, l2)
+				if t.NodePod(dst) != pod {
+					// Restore every L2 switch of the pod for this dst: the
+					// partition may have programmed any of them.
+					for i := 0; i < t.L2PerPod; i++ {
+						tb.setL2(pod, i, dst, spine)
+					}
+				}
+				continue
+			}
+			r, err := pr.Route(rep, dst)
+			if err != nil {
+				return tb.updates - before, fmt.Errorf("lft: %w", err)
+			}
+			if r.L2 >= 0 {
+				tb.setLeaf(leaf, dst, int8(r.L2))
+			}
+			if r.Spine >= 0 {
+				tb.setL2(pod, r.L2, dst, int8(r.Spine))
+			}
+		}
+	}
+	return tb.updates - before, nil
+}
+
+// Hop is one switch traversal of a walked packet.
+type Hop struct {
+	// Switch description for reports.
+	Switch string
+	// OutPort is the egress port index on that switch.
+	OutPort int
+}
+
+// Walk forwards a packet from src to dst using only the tables, returning
+// the hop list. It fails on loops or dead ends (which the table invariants
+// rule out, but Walk checks rather than assumes).
+func (tb *Tables) Walk(src, dst topology.NodeID) ([]Hop, error) {
+	t := tb.t
+	if src < 0 || int(src) >= t.Nodes() || dst < 0 || int(dst) >= t.Nodes() {
+		return nil, fmt.Errorf("lft: node out of range")
+	}
+	var hops []Hop
+	srcLeaf := t.NodeLeaf(src)
+	dstLeaf := t.NodeLeaf(dst)
+	dstPod := t.NodePod(dst)
+
+	if srcLeaf == dstLeaf {
+		hops = append(hops, Hop{Switch: leafName(t, srcLeaf), OutPort: t.NodeSlot(dst)})
+		return hops, nil
+	}
+	// Up at the source leaf.
+	i := int(tb.leafUp[srcLeaf][dst])
+	if i < 0 || i >= t.L2PerPod {
+		return nil, fmt.Errorf("lft: leaf %d has invalid up entry %d for dst %d", srcLeaf, i, dst)
+	}
+	hops = append(hops, Hop{Switch: leafName(t, srcLeaf), OutPort: t.NodesPerLeaf + i})
+	pod := t.LeafPod(srcLeaf)
+	if pod != dstPod {
+		// Up at the L2 switch.
+		s := int(tb.l2Up[pod*t.L2PerPod+i][dst])
+		if s < 0 || s >= t.SpinesPerGroup {
+			return nil, fmt.Errorf("lft: L2 (%d,%d) has invalid up entry %d for dst %d", pod, i, s, dst)
+		}
+		hops = append(hops, Hop{Switch: l2Name(pod, i), OutPort: t.LeavesPerPod + s})
+		// Down at the spine to the destination pod.
+		hops = append(hops, Hop{Switch: spineName(i, s), OutPort: dstPod})
+		pod = dstPod
+	}
+	// Down at the destination pod's L2 switch.
+	hops = append(hops, Hop{Switch: l2Name(pod, i), OutPort: t.LeafInPod(dstLeaf)})
+	// Down at the destination leaf.
+	hops = append(hops, Hop{Switch: leafName(t, dstLeaf), OutPort: t.NodeSlot(dst)})
+	return hops, nil
+}
+
+// RouteOf converts a walk into the analytic Route form for comparison with
+// the routing package.
+func (tb *Tables) RouteOf(src, dst topology.NodeID) (routing.Route, error) {
+	t := tb.t
+	r := routing.Route{Src: src, Dst: dst, L2: -1, Spine: -1}
+	if t.NodeLeaf(src) == t.NodeLeaf(dst) {
+		return r, nil
+	}
+	r.L2 = int(tb.leafUp[t.NodeLeaf(src)][dst])
+	if t.NodePod(src) != t.NodePod(dst) {
+		r.Spine = int(tb.l2Up[t.NodePod(src)*t.L2PerPod+r.L2][dst])
+	}
+	return r, nil
+}
+
+func leafName(t *topology.FatTree, leafIdx int) string {
+	return fmt.Sprintf("leaf(%d,%d)", t.LeafPod(leafIdx), t.LeafInPod(leafIdx))
+}
+func l2Name(pod, i int) string  { return fmt.Sprintf("l2(%d,%d)", pod, i) }
+func spineName(i, s int) string { return fmt.Sprintf("spine(%d,%d)", i, s) }

@@ -1,0 +1,192 @@
+package lft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestDModKTablesMatchAnalyticRoutes(t *testing.T) {
+	tree := topology.MustNew(8)
+	tb := NewDModK(tree)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		src := topology.NodeID(rng.Intn(tree.Nodes()))
+		dst := topology.NodeID(rng.Intn(tree.Nodes()))
+		want := routing.DModK(tree, src, dst)
+		got, err := tb.RouteOf(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("table route %+v != analytic %+v", got, want)
+		}
+	}
+}
+
+func TestWalkReachesDestination(t *testing.T) {
+	tree := topology.MustNew(8)
+	tb := NewDModK(tree)
+	// Intra-leaf: one hop.
+	hops, err := tb.Walk(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0].OutPort != 1 {
+		t.Fatalf("intra-leaf walk wrong: %v", hops)
+	}
+	// Intra-pod: leaf up, L2 down, leaf down.
+	hops, err = tb.Walk(0, tree.Node(0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Fatalf("intra-pod walk has %d hops", len(hops))
+	}
+	// Cross-pod: five switch traversals.
+	hops, err = tb.Walk(0, tree.Node(3, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 5 {
+		t.Fatalf("cross-pod walk has %d hops: %v", len(hops), hops)
+	}
+}
+
+func TestInstallConfinesPartitionTraffic(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	// Fill pods so a multi-tree partition with remainder appears.
+	for j := 1; j <= 6; j++ {
+		a.Allocate(topology.JobID(j), tree.PodNodes())
+	}
+	p, ok := a.FindPartition(27)
+	if !ok {
+		t.Fatal("no partition")
+	}
+	tb := NewDModK(tree)
+	written, err := tb.Install(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 {
+		t.Fatal("install should rewrite some entries")
+	}
+
+	nodes := routing.PartitionNodes(tree, p)
+	ls := routing.NewLinkSet(tree, p)
+	escapedBefore := false
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			if !ls.Inside(tree, routing.DModK(tree, s, d)) {
+				escapedBefore = true
+			}
+			r, err := tb.RouteOf(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ls.Inside(tree, r) {
+				t.Fatalf("table route %d->%d leaves the partition after Install", s, d)
+			}
+			if _, err := tb.Walk(s, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !escapedBefore {
+		t.Fatal("expected default D-mod-k to leave the partition for some pair")
+	}
+}
+
+func TestRemoveRestoresDefaults(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	for j := 1; j <= 6; j++ {
+		a.Allocate(topology.JobID(j), tree.PodNodes())
+	}
+	p, ok := a.FindPartition(27)
+	if !ok {
+		t.Fatal("no partition")
+	}
+	tb := NewDModK(tree)
+	if _, err := tb.Install(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDModK(tree)
+	for src := topology.NodeID(0); int(src) < tree.Nodes(); src += 7 {
+		for dst := topology.NodeID(0); int(dst) < tree.Nodes(); dst += 5 {
+			got, _ := tb.RouteOf(src, dst)
+			want, _ := fresh.RouteOf(src, dst)
+			if got != want {
+				t.Fatalf("entry (%d,%d) not restored: %+v != %+v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestQuickInstalledTablesMatchPartitionRouter: table-driven forwarding and
+// the analytic wraparound router agree on every pair, for random partitions.
+func TestQuickInstalledTablesMatchPartitionRouter(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := core.NewAllocator(tree)
+		for j := 1; j <= rng.Intn(10); j++ {
+			a.Allocate(topology.JobID(j), 1+rng.Intn(24))
+		}
+		p, ok := a.FindPartition(2 + rng.Intn(40))
+		if !ok {
+			return true
+		}
+		tb := NewDModK(tree)
+		if _, err := tb.Install(p); err != nil {
+			return false
+		}
+		pr := routing.NewPartitionRouter(tree, p)
+		nodes := routing.PartitionNodes(tree, p)
+		for _, s := range nodes {
+			for _, d := range nodes {
+				if s == d {
+					continue
+				}
+				want, err := pr.Route(s, d)
+				if err != nil {
+					return false
+				}
+				got, err := tb.RouteOf(s, d)
+				if err != nil {
+					return false
+				}
+				if got != want {
+					t.Logf("seed %d: %d->%d table %+v router %+v", seed, s, d, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkRejectsBadNodes(t *testing.T) {
+	tree := topology.MustNew(8)
+	tb := NewDModK(tree)
+	if _, err := tb.Walk(-1, 0); err == nil {
+		t.Fatal("negative src must error")
+	}
+	if _, err := tb.Walk(0, topology.NodeID(tree.Nodes())); err == nil {
+		t.Fatal("out-of-range dst must error")
+	}
+}

@@ -1,0 +1,137 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// TestQuickNecessityOnRealPartitions is the executable counterpart of the
+// Appendix A necessity lemmas: start from real allocator-produced legal
+// partitions and apply mutations that each violate exactly one formal
+// condition; the verifier must reject every one.
+func TestQuickNecessityOnRealPartitions(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := core.NewAllocator(tree)
+		for j := 1; j <= rng.Intn(10); j++ {
+			a.Allocate(topology.JobID(j), 1+rng.Intn(20))
+		}
+		size := 2 + rng.Intn(50)
+		p, ok := a.FindPartition(size)
+		if !ok {
+			return true
+		}
+		if p.Verify(tree) != nil {
+			return false // must start legal
+		}
+		mutations := []func(*partition.Partition) bool{
+			// Lemma 1: a non-remainder leaf with a different node count.
+			func(q *partition.Partition) bool {
+				lf := &q.Trees[0].Leaves[0]
+				if lf.N != q.NL {
+					return false
+				}
+				lf.N = q.NL + 1 // exceeds every legal per-leaf count
+				return true
+			},
+			// Up/down balance at the leaf level: |S| != NL.
+			func(q *partition.Partition) bool {
+				if len(q.S) < 2 {
+					return false
+				}
+				q.S = q.S[:len(q.S)-1]
+				return true
+			},
+			// Lemma 6 / balance at the L2 level: shrink one spine set.
+			func(q *partition.Partition) bool {
+				if q.SpineSet == nil {
+					return false
+				}
+				i := q.S[0]
+				if len(q.SpineSet[i]) < 2 {
+					return false
+				}
+				q.SpineSet[i] = q.SpineSet[i][:len(q.SpineSet[i])-1]
+				return true
+			},
+			// Isolation: the same pod twice.
+			func(q *partition.Partition) bool {
+				if len(q.Trees) < 2 {
+					return false
+				}
+				q.Trees[1].Pod = q.Trees[0].Pod
+				return true
+			},
+			// Lemma 4: remainder leaf wired to an uplink outside S is
+			// simulated by growing Sr beyond the remainder size.
+			func(q *partition.Partition) bool {
+				if len(q.Sr) == 0 || len(q.Sr) >= len(q.S) {
+					return false
+				}
+				for _, i := range q.S {
+					found := false
+					for _, j := range q.Sr {
+						if i == j {
+							found = true
+							break
+						}
+					}
+					if !found {
+						q.Sr = append(q.Sr, i)
+						return true
+					}
+				}
+				return false
+			},
+		}
+		for mi, mutate := range mutations {
+			q := clonePartition(p)
+			if !mutate(q) {
+				continue // mutation not applicable to this shape
+			}
+			if q.Verify(tree) == nil {
+				t.Logf("seed %d: mutation %d accepted", seed, mi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clonePartition deep-copies a partition.
+func clonePartition(p *partition.Partition) *partition.Partition {
+	q := &partition.Partition{
+		NL: p.NL, LT: p.LT,
+		S:  append([]int(nil), p.S...),
+		Sr: append([]int(nil), p.Sr...),
+	}
+	if p.SpineSet != nil {
+		q.SpineSet = map[int][]int{}
+		for k, v := range p.SpineSet {
+			q.SpineSet[k] = append([]int(nil), v...)
+		}
+	}
+	if p.SpineSetR != nil {
+		q.SpineSetR = map[int][]int{}
+		for k, v := range p.SpineSetR {
+			q.SpineSetR[k] = append([]int(nil), v...)
+		}
+	}
+	for _, tr := range p.Trees {
+		q.Trees = append(q.Trees, partition.TreeAlloc{
+			Pod:       tr.Pod,
+			Leaves:    append([]partition.LeafAlloc(nil), tr.Leaves...),
+			Remainder: tr.Remainder,
+		})
+	}
+	return q
+}

@@ -1,0 +1,218 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// figure3 builds the paper's Figure 3 example: N=11 with T=2 full trees of
+// nT=4 nodes (LT=2 leaves, nL=2 each) and a remainder tree of nrT=3 nodes
+// (LrT=1 full leaf plus a remainder leaf with nrL=1 node).
+func figure3() *Partition {
+	return &Partition{
+		NL: 2, LT: 2,
+		S:  []int{0, 1},
+		Sr: []int{0},
+		SpineSet: map[int][]int{
+			0: {0, 1},
+			1: {0, 1},
+		},
+		SpineSetR: map[int][]int{
+			0: {0, 1}, // LrT + remainder leaf connects via L2 0
+			1: {0},    // LrT only
+		},
+		Trees: []TreeAlloc{
+			{Pod: 0, Leaves: []LeafAlloc{{Leaf: 0, N: 2}, {Leaf: 1, N: 2}}},
+			{Pod: 1, Leaves: []LeafAlloc{{Leaf: 0, N: 2}, {Leaf: 2, N: 2}}},
+			{Pod: 3, Leaves: []LeafAlloc{{Leaf: 1, N: 2}, {Leaf: 3, N: 1}}, Remainder: true},
+		},
+	}
+}
+
+func TestFigure3LegalAllocation(t *testing.T) {
+	ft := topology.MustNew(8)
+	p := figure3()
+	if err := p.Verify(ft); err != nil {
+		t.Fatalf("Figure 3 allocation should verify: %v", err)
+	}
+	if p.Size() != 11 {
+		t.Fatalf("size = %d, want 11", p.Size())
+	}
+	if p.RemainderLeaf() != 1 {
+		t.Fatalf("remainder leaf = %d, want 1", p.RemainderLeaf())
+	}
+	if p.FullTrees() != 2 {
+		t.Fatalf("full trees = %d, want 2", p.FullTrees())
+	}
+}
+
+func TestFigure3Placement(t *testing.T) {
+	ft := topology.MustNew(8)
+	s := topology.NewState(ft, 1)
+	p := figure3()
+	pl := p.Placement(ft, 42, 1)
+	if pl.Size() != 11 {
+		t.Fatalf("placement size = %d", pl.Size())
+	}
+	pl.Apply(s)
+	if s.AllocatedNodes() != 11 {
+		t.Fatalf("allocated = %d", s.AllocatedNodes())
+	}
+	// Full leaves lose uplinks 0 and 1; remainder leaf only uplink 0.
+	if got := s.LeafUpResidual(ft.LeafIndex(0, 0), 0); got != 0 {
+		t.Fatal("full leaf uplink 0 should be taken")
+	}
+	remLeaf := ft.LeafIndex(3, 3)
+	if s.LeafUpResidual(remLeaf, 0) != 0 || s.LeafUpResidual(remLeaf, 1) != 1 {
+		t.Fatal("remainder leaf should take only uplink 0")
+	}
+	// Full trees take 2 spine uplinks per L2 in S; remainder tree takes 2
+	// on L2 0 and 1 on L2 1.
+	if s.SpineUpResidual(0, 0, 0) != 0 || s.SpineUpResidual(0, 1, 1) != 0 {
+		t.Fatal("full tree spine uplinks should be taken")
+	}
+	if s.SpineUpResidual(3, 1, 0) != 0 {
+		t.Fatal("remainder tree L2 1 should take spine 0")
+	}
+	if s.SpineUpResidual(3, 1, 1) != 1 {
+		t.Fatal("remainder tree L2 1 should not take spine 1")
+	}
+	pl.Release(s)
+	if s.AllocatedNodes() != 0 {
+		t.Fatal("release failed")
+	}
+}
+
+// singleTree builds a legal single-pod (two-level) partition: 7 nodes as
+// 2 leaves x 3 nodes + remainder leaf with 1 node.
+func singleTree() *Partition {
+	return &Partition{
+		NL: 3, LT: 2,
+		S:  []int{0, 2, 3},
+		Sr: []int{2},
+		Trees: []TreeAlloc{
+			{Pod: 2, Leaves: []LeafAlloc{{Leaf: 0, N: 3}, {Leaf: 2, N: 3}, {Leaf: 3, N: 1}}},
+		},
+	}
+}
+
+func TestSingleTreeLegal(t *testing.T) {
+	ft := topology.MustNew(8)
+	p := singleTree()
+	if err := p.Verify(ft); err != nil {
+		t.Fatalf("single-tree allocation should verify: %v", err)
+	}
+	if p.MultiTree() {
+		t.Fatal("should not be multi-tree")
+	}
+}
+
+func TestSingleLeafLegal(t *testing.T) {
+	ft := topology.MustNew(8)
+	p := &Partition{
+		NL: 4, LT: 1,
+		S:     []int{0, 1, 2, 3},
+		Trees: []TreeAlloc{{Pod: 0, Leaves: []LeafAlloc{{Leaf: 0, N: 4}}}},
+	}
+	if err := p.Verify(ft); err != nil {
+		t.Fatalf("single full leaf should verify: %v", err)
+	}
+}
+
+// mutate applies f to a copy of the Figure 3 partition and asserts Verify
+// rejects it with a message containing want.
+func mutate(t *testing.T, want string, f func(*Partition)) {
+	t.Helper()
+	ft := topology.MustNew(8)
+	p := figure3()
+	f(p)
+	err := p.Verify(ft)
+	if err == nil {
+		t.Fatalf("expected violation (%s), got nil", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("expected error containing %q, got %q", want, err)
+	}
+}
+
+// TestFigure1Violations encodes the three violation classes of the paper's
+// Figure 1 plus perturbations of each formal condition.
+func TestFigure1Violations(t *testing.T) {
+	// Figure 1 left: tapering — fewer uplinks (|S|) than downlinks (NL).
+	mutate(t, "leaf up/down balance", func(p *Partition) { p.S = []int{0} })
+
+	// Figure 1 center: arbitrary node counts per leaf.
+	mutate(t, "condition 2", func(p *Partition) { p.Trees[0].Leaves[0].N = 1 })
+
+	// Figure 1 right: balanced but poorly-chosen uplinks — remainder spine
+	// subset not inside the common spine set.
+	mutate(t, "condition 6", func(p *Partition) { p.SpineSetR[1] = []int{3} })
+
+	// Condition 1: remainder tree at least as large as full trees.
+	mutate(t, "condition 1", func(p *Partition) {
+		p.Trees[2].Leaves = []LeafAlloc{{Leaf: 0, N: 2}, {Leaf: 1, N: 2}}
+		p.SpineSetR = map[int][]int{0: {0}, 1: {0}}
+		p.Sr = nil
+	})
+
+	// Condition 3: remainder leaf outside the remainder tree.
+	mutate(t, "condition 2", func(p *Partition) { p.Trees[0].Leaves[1].N = 1 })
+
+	// Condition 4: Sr must be a subset of S.
+	mutate(t, "condition 4", func(p *Partition) { p.Sr = []int{3} })
+
+	// Condition 4: |Sr| must equal the remainder leaf size.
+	mutate(t, "condition 4", func(p *Partition) { p.Sr = []int{0, 1} })
+
+	// Condition 6: spine set size must equal LT (L2 up/down balance).
+	mutate(t, "balance", func(p *Partition) { p.SpineSet[0] = []int{0} })
+
+	// Condition 6: remainder subset size must equal its downlink count.
+	mutate(t, "condition 6", func(p *Partition) { p.SpineSetR[1] = []int{0, 1} })
+
+	// Missing spine sets entirely.
+	mutate(t, "condition 6", func(p *Partition) { p.SpineSet = nil })
+
+	// Isolation bookkeeping: same pod twice.
+	mutate(t, "used twice", func(p *Partition) { p.Trees[1].Pod = 0 })
+
+	// Same leaf twice within a pod.
+	mutate(t, "used twice", func(p *Partition) { p.Trees[1].Leaves[1].Leaf = 0 })
+
+	// Full tree with wrong leaf count.
+	mutate(t, "condition 2", func(p *Partition) {
+		p.Trees[0].Leaves = p.Trees[0].Leaves[:1]
+	})
+}
+
+func TestSingleTreeViolations(t *testing.T) {
+	ft := topology.MustNew(8)
+
+	p := singleTree()
+	p.SpineSet = map[int][]int{0: {0, 1}, 2: {0, 1}, 3: {0, 1}}
+	if err := p.Verify(ft); err == nil {
+		t.Fatal("single-tree partition with spine links should be rejected")
+	}
+
+	p = singleTree()
+	p.Trees[0].Remainder = true
+	if err := p.Verify(ft); err == nil {
+		t.Fatal("lone remainder tree should be rejected")
+	}
+
+	p = singleTree()
+	p.Trees[0].Leaves[2].N = 2 // |Sr| no longer matches
+	if err := p.Verify(ft); err == nil {
+		t.Fatal("Sr size mismatch should be rejected")
+	}
+}
+
+func TestVerifyRejectsEmpty(t *testing.T) {
+	ft := topology.MustNew(8)
+	p := &Partition{NL: 1, LT: 1, S: []int{0}}
+	if err := p.Verify(ft); err == nil {
+		t.Fatal("empty partition should be rejected")
+	}
+}

@@ -1,0 +1,319 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// pflow is one flow of a permutation at the leaf level. Virtual padding
+// flows (for the remainder leaf) have src == dst == -1.
+type pflow struct {
+	src, dst int // partition node indices, -1 for virtual
+	sl, dl   int // partition leaf indices
+}
+
+// pleaf describes one allocated leaf in partition order.
+type pleaf struct {
+	tree  int // index into p.Trees
+	count int
+	isRem bool
+}
+
+// RoutePermutation routes an arbitrary permutation of traffic among a
+// partition's nodes with at most one flow per directed link, using only the
+// partition's links. perm maps partition node index to partition node index
+// (see PartitionNodes for the canonical enumeration). It returns one Route
+// per flow.
+//
+// The construction follows the sufficiency proof of Appendix A:
+//
+//  1. The partition is augmented with virtual self-flows on the remainder
+//     leaf so that every leaf carries exactly NL flows.
+//  2. The flows are decomposed into NL perfect matchings over leaves (Hall's
+//     Marriage Theorem guarantees each extraction succeeds on the remaining
+//     regular multigraph).
+//  3. Each matching is assigned one L2 channel from S. Matchings in which
+//     the remainder leaf's flow is real get channels from Sr — there are
+//     exactly |Sr| of them — so real flows only touch allocated uplinks.
+//  4. Within a matching, inter-pod flows are decomposed again into LT
+//     perfect matchings over pods (after padding every pod to LT flows with
+//     virtual self-loops) and each pod-matching is assigned one spine from
+//     S*_i; pod-matchings whose remainder-tree slot carries a real
+//     inter-pod flow get spines from S*r_i, which again exactly suffice.
+//
+// An error is returned only for malformed input (perm not a permutation, or
+// a partition violating the formal conditions) — for legal partitions the
+// construction always succeeds, which is what the routing property tests
+// demonstrate.
+func RoutePermutation(t *topology.FatTree, p *partition.Partition, perm []int) ([]Route, error) {
+	if err := p.Verify(t); err != nil {
+		return nil, err
+	}
+	nodes := PartitionNodes(t, p)
+	n := len(nodes)
+	if len(perm) != n {
+		return nil, fmt.Errorf("routing: perm has %d entries, partition has %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("routing: perm is not a permutation")
+		}
+		seen[v] = true
+	}
+
+	// Leaf table; global order mirrors PartitionNodes.
+	var leaves []pleaf
+	leafOfNode := make([]int, n)
+	{
+		idx := 0
+		for ti, tr := range p.Trees {
+			for _, lf := range tr.Leaves {
+				leaves = append(leaves, pleaf{tree: ti, count: lf.N, isRem: lf.N < p.NL})
+				for s := 0; s < lf.N; s++ {
+					leafOfNode[idx] = len(leaves) - 1
+					idx++
+				}
+			}
+		}
+	}
+	remLeafIdx := -1
+	for li, lr := range leaves {
+		if lr.isRem {
+			remLeafIdx = li
+		}
+	}
+
+	// Leaf-level flows, padded so each leaf sends exactly NL.
+	flows := make([]pflow, 0, len(leaves)*p.NL)
+	for i, j := range perm {
+		flows = append(flows, pflow{src: i, dst: j, sl: leafOfNode[i], dl: leafOfNode[j]})
+	}
+	if remLeafIdx >= 0 {
+		for k := leaves[remLeafIdx].count; k < p.NL; k++ {
+			flows = append(flows, pflow{src: -1, dst: -1, sl: remLeafIdx, dl: remLeafIdx})
+		}
+	}
+
+	// Stage 2: NL perfect matchings over leaves.
+	edges := make([][2]int, len(flows))
+	for i, f := range flows {
+		edges[i] = [2]int{f.sl, f.dl}
+	}
+	rounds, err := decompose(len(leaves), edges, p.NL)
+	if err != nil {
+		return nil, fmt.Errorf("routing: leaf-level decomposition: %w", err)
+	}
+
+	// Stage 3: channel assignment.
+	channels := make([]int, len(rounds))
+	var srPool, otherPool []int
+	srSet := map[int]bool{}
+	for _, i := range p.Sr {
+		srSet[i] = true
+		srPool = append(srPool, i)
+	}
+	for _, i := range p.S {
+		if !srSet[i] {
+			otherPool = append(otherPool, i)
+		}
+	}
+	for ri, round := range rounds {
+		realRem := false
+		if remLeafIdx >= 0 {
+			for _, fi := range round {
+				if flows[fi].sl == remLeafIdx && flows[fi].src >= 0 {
+					realRem = true
+					break
+				}
+			}
+		}
+		switch {
+		case realRem:
+			if len(srPool) == 0 {
+				return nil, fmt.Errorf("routing: ran out of Sr channels")
+			}
+			channels[ri], srPool = srPool[0], srPool[1:]
+		case len(otherPool) > 0:
+			channels[ri], otherPool = otherPool[0], otherPool[1:]
+		default:
+			channels[ri], srPool = srPool[0], srPool[1:]
+		}
+	}
+
+	// Route each round; stage 4 handles inter-pod flows.
+	routes := make([]Route, 0, n)
+	for ri, round := range rounds {
+		ch := channels[ri]
+		var interPod []int
+		for _, fi := range round {
+			f := flows[fi]
+			if f.src < 0 {
+				continue // virtual: no real links
+			}
+			switch {
+			case f.sl == f.dl:
+				routes = append(routes, Route{Src: nodes[f.src], Dst: nodes[f.dst], L2: -1, Spine: -1})
+			case leaves[f.sl].tree == leaves[f.dl].tree:
+				routes = append(routes, Route{Src: nodes[f.src], Dst: nodes[f.dst], L2: ch, Spine: -1})
+			default:
+				interPod = append(interPod, fi)
+			}
+		}
+		if len(interPod) == 0 {
+			continue
+		}
+		rs, err := routeAcrossPods(p, flows, leaves, interPod, ch, nodes)
+		if err != nil {
+			return nil, err
+		}
+		routes = append(routes, rs...)
+	}
+	return routes, nil
+}
+
+// routeAcrossPods assigns spines to one round's inter-pod flows through the
+// center network T*_channel (stage 4 above).
+func routeAcrossPods(p *partition.Partition, flows []pflow, leaves []pleaf, interPod []int, channel int, nodes []topology.NodeID) ([]Route, error) {
+	stations := len(p.Trees)
+	remTree := -1
+	if p.Trees[stations-1].Remainder {
+		remTree = stations - 1
+	}
+
+	// Inter-pod edges plus self-loop padding to make every pod LT-regular.
+	type edgeInfo struct{ flow int } // -1 for padding
+	var edges [][2]int
+	var info []edgeInfo
+	interOut := make([]int, stations)
+	for _, fi := range interPod {
+		f := flows[fi]
+		edges = append(edges, [2]int{leaves[f.sl].tree, leaves[f.dl].tree})
+		info = append(info, edgeInfo{flow: fi})
+		interOut[leaves[f.sl].tree]++
+	}
+	for st := 0; st < stations; st++ {
+		for k := interOut[st]; k < p.LT; k++ {
+			edges = append(edges, [2]int{st, st})
+			info = append(info, edgeInfo{flow: -1})
+		}
+	}
+	matchings, err := decompose(stations, edges, p.LT)
+	if err != nil {
+		return nil, fmt.Errorf("routing: pod-level decomposition on channel %d: %w", channel, err)
+	}
+
+	// Spine assignment with the remainder-tree restriction.
+	restricted := map[int]bool{}
+	if remTree >= 0 {
+		for _, s := range p.SpineSetR[channel] {
+			restricted[s] = true
+		}
+	}
+	var resPool, freePool []int
+	for _, s := range p.SpineSet[channel] {
+		if restricted[s] {
+			resPool = append(resPool, s)
+		} else {
+			freePool = append(freePool, s)
+		}
+	}
+	var routes []Route
+	for _, m := range matchings {
+		needRestricted := false
+		if remTree >= 0 {
+			for _, ei := range m {
+				if edges[ei][0] == remTree && info[ei].flow >= 0 {
+					needRestricted = true
+					break
+				}
+			}
+		}
+		var spine int
+		switch {
+		case needRestricted:
+			if len(resPool) == 0 {
+				return nil, fmt.Errorf("routing: ran out of restricted spines on channel %d", channel)
+			}
+			spine, resPool = resPool[0], resPool[1:]
+		case len(freePool) > 0:
+			spine, freePool = freePool[0], freePool[1:]
+		default:
+			spine, resPool = resPool[0], resPool[1:]
+		}
+		for _, ei := range m {
+			if info[ei].flow < 0 {
+				continue
+			}
+			f := flows[info[ei].flow]
+			routes = append(routes, Route{Src: nodes[f.src], Dst: nodes[f.dst], L2: channel, Spine: spine})
+		}
+	}
+	return routes, nil
+}
+
+// decompose splits a d-regular bipartite multigraph (edges between left and
+// right copies of the same station set, self-loops allowed) into d perfect
+// matchings, returning edge indices per matching. Repeated Kuhn augmenting
+// searches extract one perfect matching at a time; regularity guarantees
+// existence (Hall's Marriage Theorem).
+func decompose(stations int, edges [][2]int, d int) ([][]int, error) {
+	adj := make([][]int, stations)
+	for ei, e := range edges {
+		adj[e[0]] = append(adj[e[0]], ei)
+	}
+	used := make([]bool, len(edges))
+	rounds := make([][]int, 0, d)
+	for r := 0; r < d; r++ {
+		matchR := make([]int, stations) // right station -> matched edge index
+		for i := range matchR {
+			matchR[i] = -1
+		}
+		var visited []bool
+		var try func(u int) bool
+		try = func(u int) bool {
+			for _, ei := range adj[u] {
+				if used[ei] {
+					continue
+				}
+				v := edges[ei][1]
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				if matchR[v] == -1 || try(edges[matchR[v]][0]) {
+					matchR[v] = ei
+					return true
+				}
+			}
+			return false
+		}
+		// In Kuhn's algorithm a left station, once matched, stays matched
+		// through later augmentations, so one pass over the stations builds
+		// a perfect matching whenever one exists.
+		for u := 0; u < stations; u++ {
+			visited = make([]bool, stations)
+			if !try(u) {
+				return nil, fmt.Errorf("no perfect matching at round %d (graph not %d-regular?)", r, d)
+			}
+		}
+		round := make([]int, 0, stations)
+		for v := 0; v < stations; v++ {
+			ei := matchR[v]
+			if ei == -1 {
+				return nil, fmt.Errorf("station %d unmatched at round %d", v, r)
+			}
+			used[ei] = true
+			round = append(round, ei)
+		}
+		rounds = append(rounds, round)
+	}
+	for ei := range edges {
+		if !used[ei] {
+			return nil, fmt.Errorf("edge %d never scheduled", ei)
+		}
+	}
+	return rounds, nil
+}

@@ -1,0 +1,245 @@
+// Package routing implements packet routing on three-level fat-trees:
+//
+//   - D-mod-k static routing, the default on production fat-tree clusters,
+//     which is unaware of Jigsaw partitions (Figure 5, left);
+//   - Jigsaw's adjusted routing, which maps D-mod-k onto a partition and
+//     wraps around on remainder switches so traffic stays on allocated
+//     links (Figure 5, right);
+//   - a constructive rearrangeable-non-blocking router (RoutePermutation)
+//     that realizes the sufficiency proof of Appendix A: any permutation of
+//     traffic among a legal partition's nodes is routed with at most one
+//     flow per directed link, using only the partition's links.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Route describes the path of one flow. On a fat-tree a path is fully
+// determined by the endpoints, the L2 index used at both sides, and — for
+// inter-pod flows — the spine within that L2 group.
+type Route struct {
+	Src, Dst topology.NodeID
+	// L2 is the L2 switch index used going up and down, or -1 when source
+	// and destination share a leaf (the flow turns around at the leaf
+	// switch and uses no allocatable links).
+	L2 int
+	// Spine is the spine index within group L2, or -1 when source and
+	// destination share a pod (the flow turns around at the L2 switch).
+	Spine int
+}
+
+// DirectedLink identifies one direction of one link for contention
+// accounting.
+type DirectedLink struct {
+	// Kind: 0 = leaf<->L2, 1 = L2<->spine.
+	Kind int8
+	// Up is true for the upward direction.
+	Up bool
+	// A identifies the link: for Kind 0, the global leaf index and L2
+	// index; for Kind 1, the pod, L2 index, and spine index.
+	A, B, C int32
+}
+
+// Links enumerates the directed links the route traverses.
+func (r Route) Links(t *topology.FatTree) []DirectedLink {
+	if r.L2 < 0 {
+		return nil
+	}
+	srcLeaf := t.NodeLeaf(r.Src)
+	dstLeaf := t.NodeLeaf(r.Dst)
+	out := []DirectedLink{
+		{Kind: 0, Up: true, A: int32(srcLeaf), B: int32(r.L2)},
+		{Kind: 0, Up: false, A: int32(dstLeaf), B: int32(r.L2)},
+	}
+	if r.Spine >= 0 {
+		out = append(out,
+			DirectedLink{Kind: 1, Up: true, A: int32(t.NodePod(r.Src)), B: int32(r.L2), C: int32(r.Spine)},
+			DirectedLink{Kind: 1, Up: false, A: int32(t.NodePod(r.Dst)), B: int32(r.L2), C: int32(r.Spine)},
+		)
+	}
+	return out
+}
+
+// DModK returns the path of a packet from src to dst under D-mod-k static
+// routing: the upward path is a deterministic function of the destination,
+// balancing destinations over L2 switches and spines.
+func DModK(t *topology.FatTree, src, dst topology.NodeID) Route {
+	r := Route{Src: src, Dst: dst, L2: -1, Spine: -1}
+	if t.NodeLeaf(src) == t.NodeLeaf(dst) {
+		return r
+	}
+	r.L2 = int(dst) % t.L2PerPod
+	if t.NodePod(src) == t.NodePod(dst) {
+		return r
+	}
+	r.Spine = (int(dst) / t.L2PerPod) % t.SpinesPerGroup
+	return r
+}
+
+// LinkSet is the set of (undirected) links a partition owns, used to check
+// that routes stay inside their partition.
+type LinkSet struct {
+	leafUp  map[[2]int32]bool
+	spineUp map[[3]int32]bool
+}
+
+// NewLinkSet collects the links of a partition.
+func NewLinkSet(t *topology.FatTree, p *partition.Partition) *LinkSet {
+	ls := &LinkSet{leafUp: map[[2]int32]bool{}, spineUp: map[[3]int32]bool{}}
+	for _, tr := range p.Trees {
+		for _, lf := range tr.Leaves {
+			leafIdx := t.LeafIndex(tr.Pod, lf.Leaf)
+			ups := p.S
+			if lf.N < p.NL {
+				ups = p.Sr
+			}
+			for _, i := range ups {
+				ls.leafUp[[2]int32{int32(leafIdx), int32(i)}] = true
+			}
+		}
+		if p.MultiTree() {
+			set := p.SpineSet
+			if tr.Remainder {
+				set = p.SpineSetR
+			}
+			for _, i := range p.S {
+				for _, sp := range set[i] {
+					ls.spineUp[[3]int32{int32(tr.Pod), int32(i), int32(sp)}] = true
+				}
+			}
+		}
+	}
+	return ls
+}
+
+// Contains reports whether the directed link belongs to the partition.
+func (ls *LinkSet) Contains(l DirectedLink) bool {
+	if l.Kind == 0 {
+		return ls.leafUp[[2]int32{l.A, l.B}]
+	}
+	return ls.spineUp[[3]int32{l.A, l.B, l.C}]
+}
+
+// Inside reports whether every link of the route belongs to the partition.
+func (ls *LinkSet) Inside(t *topology.FatTree, r Route) bool {
+	for _, l := range r.Links(t) {
+		if !ls.Contains(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// PartitionRouter routes packets within one Jigsaw partition by mapping
+// D-mod-k onto the partition's links and wrapping around on remainder
+// switches (Section 4, Figure 5 right).
+type PartitionRouter struct {
+	t    *topology.FatTree
+	p    *partition.Partition
+	set  *LinkSet
+	vidx map[topology.NodeID]int // partition-relative node index
+	pods map[int]*partition.TreeAlloc
+}
+
+// NewPartitionRouter builds the routing table for a partition. The concrete
+// node IDs are taken from the canonical enumeration PartitionNodes.
+func NewPartitionRouter(t *topology.FatTree, p *partition.Partition) *PartitionRouter {
+	pr := &PartitionRouter{
+		t: t, p: p,
+		set:  NewLinkSet(t, p),
+		vidx: map[topology.NodeID]int{},
+		pods: map[int]*partition.TreeAlloc{},
+	}
+	for i, n := range PartitionNodes(t, p) {
+		pr.vidx[n] = i
+	}
+	for ti := range p.Trees {
+		pr.pods[p.Trees[ti].Pod] = &p.Trees[ti]
+	}
+	return pr
+}
+
+// PartitionNodes enumerates the canonical node IDs of a partition: for each
+// tree and leaf, the lowest slots of that leaf. These are the nodes a
+// pristine state would assign the partition.
+func PartitionNodes(t *topology.FatTree, p *partition.Partition) []topology.NodeID {
+	var out []topology.NodeID
+	for _, tr := range p.Trees {
+		for _, lf := range tr.Leaves {
+			for s := 0; s < lf.N; s++ {
+				out = append(out, t.Node(tr.Pod, lf.Leaf, s))
+			}
+		}
+	}
+	return out
+}
+
+// Route returns the wraparound route from src to dst, which uses only links
+// allocated to the partition. Both nodes must belong to the partition.
+func (pr *PartitionRouter) Route(src, dst topology.NodeID) (Route, error) {
+	t := pr.t
+	r := Route{Src: src, Dst: dst, L2: -1, Spine: -1}
+	dv, ok := pr.vidx[dst]
+	if !ok {
+		return r, fmt.Errorf("routing: node %d not in partition", dst)
+	}
+	if _, ok := pr.vidx[src]; !ok {
+		return r, fmt.Errorf("routing: node %d not in partition", src)
+	}
+	if t.NodeLeaf(src) == t.NodeLeaf(dst) {
+		return r, nil
+	}
+	// D-mod-k mapped onto the partition: the virtual destination index
+	// selects the L2 switch from S; remainder leaves wrap into Sr.
+	p := pr.p
+	l2 := p.S[dv%p.NL]
+	if pr.isRemLeaf(src) || pr.isRemLeaf(dst) {
+		if !member(p.Sr, l2) {
+			l2 = p.Sr[dv%len(p.Sr)]
+		}
+	}
+	r.L2 = l2
+	if t.NodePod(src) == t.NodePod(dst) {
+		return r, nil
+	}
+	srcRem := pr.pods[t.NodePod(src)].Remainder
+	dstRem := pr.pods[t.NodePod(dst)].Remainder
+	set := p.SpineSet[l2]
+	if srcRem || dstRem {
+		set = p.SpineSetR[l2]
+		if len(set) == 0 {
+			return r, fmt.Errorf("routing: remainder tree has no spine links on L2 %d", l2)
+		}
+	}
+	r.Spine = set[(dv/p.NL)%len(set)]
+	return r, nil
+}
+
+// isRemLeaf reports whether the node sits on the partition's remainder leaf.
+func (pr *PartitionRouter) isRemLeaf(n topology.NodeID) bool {
+	tr, ok := pr.pods[pr.t.NodePod(n)]
+	if !ok {
+		return false
+	}
+	last := tr.Leaves[len(tr.Leaves)-1]
+	if last.N == pr.p.NL {
+		return false
+	}
+	return pr.t.LeafInPod(pr.t.NodeLeaf(n)) == last.Leaf
+}
+
+// Inside reports whether the route stays on the partition's links.
+func (pr *PartitionRouter) Inside(r Route) bool { return pr.set.Inside(pr.t, r) }
+
+func member(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

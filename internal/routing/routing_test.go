@@ -1,0 +1,252 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// figure3 is the paper's Figure 3 example partition on a radix-8 tree.
+func figure3() *partition.Partition {
+	return &partition.Partition{
+		NL: 2, LT: 2,
+		S:  []int{0, 1},
+		Sr: []int{0},
+		SpineSet: map[int][]int{
+			0: {0, 1},
+			1: {0, 1},
+		},
+		SpineSetR: map[int][]int{
+			0: {0, 1},
+			1: {0},
+		},
+		Trees: []partition.TreeAlloc{
+			{Pod: 0, Leaves: []partition.LeafAlloc{{Leaf: 0, N: 2}, {Leaf: 1, N: 2}}},
+			{Pod: 1, Leaves: []partition.LeafAlloc{{Leaf: 0, N: 2}, {Leaf: 2, N: 2}}},
+			{Pod: 3, Leaves: []partition.LeafAlloc{{Leaf: 1, N: 2}, {Leaf: 3, N: 1}}, Remainder: true},
+		},
+	}
+}
+
+func TestDModKDeterministicAndBalanced(t *testing.T) {
+	tree := topology.MustNew(8)
+	src := tree.Node(0, 0, 0)
+	// Destinations on the same leaf use no allocatable links.
+	r := DModK(tree, src, tree.Node(0, 0, 3))
+	if r.L2 != -1 || r.Spine != -1 {
+		t.Fatal("intra-leaf route should use no links")
+	}
+	// Same pod: one up, one down, no spine.
+	r = DModK(tree, src, tree.Node(0, 1, 0))
+	if r.L2 < 0 || r.Spine != -1 {
+		t.Fatalf("intra-pod route wrong: %+v", r)
+	}
+	// Cross pod: consecutive destinations spread over L2 switches.
+	seen := map[int]bool{}
+	for d := 0; d < tree.L2PerPod; d++ {
+		seen[DModK(tree, src, tree.Node(2, 0, 0)+topology.NodeID(d)).L2] = true
+	}
+	if len(seen) != tree.L2PerPod {
+		t.Fatalf("D-mod-k should balance consecutive destinations over all %d L2 switches, got %d", tree.L2PerPod, len(seen))
+	}
+}
+
+// TestFigure5WraparoundRouting reproduces Figure 5: plain D-mod-k sends some
+// packet of the Figure 3 partition over an unallocated link; the Jigsaw
+// wraparound routing keeps every packet inside the partition.
+func TestFigure5WraparoundRouting(t *testing.T) {
+	tree := topology.MustNew(8)
+	p := figure3()
+	pr := NewPartitionRouter(tree, p)
+	nodes := PartitionNodes(tree, p)
+	ls := NewLinkSet(tree, p)
+
+	escaped := false
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			if !ls.Inside(tree, DModK(tree, s, d)) {
+				escaped = true
+			}
+			r, err := pr.Route(s, d)
+			if err != nil {
+				t.Fatalf("wraparound route %d->%d: %v", s, d, err)
+			}
+			if !pr.Inside(r) {
+				t.Fatalf("wraparound route %d->%d leaves the partition: %+v", s, d, r)
+			}
+		}
+	}
+	if !escaped {
+		t.Fatal("expected at least one D-mod-k route to leave the partition (Figure 5 left)")
+	}
+}
+
+func TestRoutePermutationFigure3(t *testing.T) {
+	tree := topology.MustNew(8)
+	p := figure3()
+	n := p.Size()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(n)
+		routes, err := RoutePermutation(tree, p, perm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(routes) != n {
+			t.Fatalf("trial %d: %d routes for %d flows", trial, len(routes), n)
+		}
+		if err := VerifyRoutes(tree, p, routes); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRoutePermutationIdentityAndShift(t *testing.T) {
+	tree := topology.MustNew(8)
+	p := figure3()
+	n := p.Size()
+	id := make([]int, n)
+	shift := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		id[i] = i
+		shift[i] = (i + 1) % n
+		rev[i] = n - 1 - i
+	}
+	for name, perm := range map[string][]int{"identity": id, "shift": shift, "reverse": rev} {
+		routes, err := RoutePermutation(tree, p, perm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyRoutes(tree, p, routes); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRoutePermutationRejectsBadInput(t *testing.T) {
+	tree := topology.MustNew(8)
+	p := figure3()
+	if _, err := RoutePermutation(tree, p, []int{0, 1}); err == nil {
+		t.Fatal("wrong length must fail")
+	}
+	bad := make([]int, p.Size())
+	if _, err := RoutePermutation(tree, p, bad); err == nil {
+		t.Fatal("non-permutation must fail")
+	}
+}
+
+// TestQuickRearrangeableNonBlocking is the executable Appendix A: random
+// legal Jigsaw partitions (produced by the real allocator under random
+// machine states) route random permutations with at most one flow per link,
+// inside the partition.
+func TestQuickRearrangeableNonBlocking(t *testing.T) {
+	tree := topology.MustNew(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := core.NewAllocator(tree)
+		// Random pre-existing jobs fragment the machine.
+		for j := 1; j <= rng.Intn(12); j++ {
+			a.Allocate(topology.JobID(j), 1+rng.Intn(24))
+		}
+		size := 1 + rng.Intn(40)
+		p, ok := a.FindPartition(size)
+		if !ok {
+			return true // nothing to check
+		}
+		if p.Verify(tree) != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			perm := rng.Perm(size)
+			routes, err := RoutePermutation(tree, p, perm)
+			if err != nil {
+				t.Logf("seed %d size %d: %v", seed, size, err)
+				return false
+			}
+			if err := VerifyRoutes(tree, p, routes); err != nil {
+				t.Logf("seed %d size %d: %v", seed, size, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllToAllStress routes every cyclic shift of a partition's nodes —
+// together these cover an all-to-all — verifying no shift ever contends.
+func TestQuickAllToAllStress(t *testing.T) {
+	tree := topology.MustNew(6)
+	a := core.NewAllocator(tree)
+	p, ok := a.FindPartition(14) // multi-tree with remainder on radix 6
+	if !ok {
+		t.Fatal("allocation failed")
+	}
+	n := p.Size()
+	for s := 0; s < n; s++ {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i + s) % n
+		}
+		routes, err := RoutePermutation(tree, p, perm)
+		if err != nil {
+			t.Fatalf("shift %d: %v", s, err)
+		}
+		if err := VerifyRoutes(tree, p, routes); err != nil {
+			t.Fatalf("shift %d: %v", s, err)
+		}
+	}
+}
+
+func TestDecomposeRegularMultigraph(t *testing.T) {
+	// 3-regular bipartite multigraph on 4 stations with self-loops.
+	edges := [][2]int{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 1}, {1, 0}, {1, 3},
+		{2, 2}, {2, 3}, {2, 0},
+		{3, 3}, {3, 2}, {3, 1},
+	}
+	rounds, err := decompose(4, edges, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	usedEdges := map[int]bool{}
+	for _, round := range rounds {
+		left := map[int]bool{}
+		right := map[int]bool{}
+		for _, ei := range round {
+			if usedEdges[ei] {
+				t.Fatal("edge reused across rounds")
+			}
+			usedEdges[ei] = true
+			e := edges[ei]
+			if left[e[0]] || right[e[1]] {
+				t.Fatal("not a matching")
+			}
+			left[e[0]], right[e[1]] = true, true
+		}
+		if len(left) != 4 || len(right) != 4 {
+			t.Fatal("not perfect")
+		}
+	}
+}
+
+func TestDecomposeDetectsIrregular(t *testing.T) {
+	edges := [][2]int{{0, 0}, {0, 1}, {1, 0}} // degrees unequal
+	if _, err := decompose(2, edges, 2); err == nil {
+		t.Fatal("irregular graph must fail")
+	}
+}

@@ -1,0 +1,91 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// fullMachinePartition describes the entire fat-tree as one partition: every
+// leaf full, S = all L2 indices, S*_i = all spines of group i.
+func fullMachinePartition(t *topology.FatTree) *partition.Partition {
+	s := make([]int, t.L2PerPod)
+	for i := range s {
+		s[i] = i
+	}
+	spineSet := map[int][]int{}
+	for _, i := range s {
+		all := make([]int, t.SpinesPerGroup)
+		for k := range all {
+			all[k] = k
+		}
+		spineSet[i] = all
+	}
+	var trees []partition.TreeAlloc
+	for p := 0; p < t.Pods; p++ {
+		var leaves []partition.LeafAlloc
+		for l := 0; l < t.LeavesPerPod; l++ {
+			leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: t.NodesPerLeaf})
+		}
+		trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
+	}
+	return &partition.Partition{
+		NL: t.NodesPerLeaf, LT: t.LeavesPerPod,
+		S: s, SpineSet: spineSet, Trees: trees,
+	}
+}
+
+// TestTheorem5FullFatTreeRearrangeable is the executable form of the paper's
+// Theorem 5 (the first proof that full three-level fat-trees are
+// rearrangeable non-blocking): arbitrary permutations over the whole machine
+// route with at most one flow per link.
+func TestTheorem5FullFatTreeRearrangeable(t *testing.T) {
+	for _, radix := range []int{4, 6, 8} {
+		tree := topology.MustNew(radix)
+		p := fullMachinePartition(tree)
+		if err := p.Verify(tree); err != nil {
+			t.Fatalf("radix %d: full machine should be a legal partition: %v", radix, err)
+		}
+		rng := rand.New(rand.NewSource(int64(radix)))
+		n := tree.Nodes()
+		for trial := 0; trial < 20; trial++ {
+			perm := rng.Perm(n)
+			routes, err := RoutePermutation(tree, p, perm)
+			if err != nil {
+				t.Fatalf("radix %d trial %d: %v", radix, trial, err)
+			}
+			if err := VerifyRoutes(tree, p, routes); err != nil {
+				t.Fatalf("radix %d trial %d: %v", radix, trial, err)
+			}
+			// Saturation check: a full permutation with no fixed points on
+			// distinct leaves uses every node's injection exactly once; link
+			// counts are checked by VerifyRoutes, flow count here.
+			if len(routes) != n {
+				t.Fatalf("radix %d: %d routes for %d flows", radix, len(routes), n)
+			}
+		}
+	}
+}
+
+// TestTheorem5WorstCaseShift routes the bit-reversal-style worst cases: all
+// cyclic shifts of the full radix-6 machine.
+func TestTheorem5WorstCaseShift(t *testing.T) {
+	tree := topology.MustNew(6)
+	p := fullMachinePartition(tree)
+	n := tree.Nodes()
+	for s := 1; s < n; s += 7 {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i + s) % n
+		}
+		routes, err := RoutePermutation(tree, p, perm)
+		if err != nil {
+			t.Fatalf("shift %d: %v", s, err)
+		}
+		if err := VerifyRoutes(tree, p, routes); err != nil {
+			t.Fatalf("shift %d: %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// VerifyRoutes checks the two properties the Jigsaw conditions guarantee
+// (Definition 1 and the isolation constraint):
+//
+//   - contention-freedom: no directed link carries more than one of the
+//     given flows;
+//   - containment: every link used belongs to the partition.
+//
+// It returns nil when both hold.
+func VerifyRoutes(t *topology.FatTree, p *partition.Partition, routes []Route) error {
+	ls := NewLinkSet(t, p)
+	seen := map[DirectedLink]topology.NodeID{}
+	for _, r := range routes {
+		for _, l := range r.Links(t) {
+			if !ls.Contains(l) {
+				return fmt.Errorf("routing: flow %d->%d uses link %+v outside its partition", r.Src, r.Dst, l)
+			}
+			if prev, dup := seen[l]; dup {
+				return fmt.Errorf("routing: link %+v carries two flows (from %d and %d)", l, prev, r.Src)
+			}
+			seen[l] = r.Src
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/topology"
+)
+
+// TestConservativeDeniesLongCandidates: a candidate that outlives the shadow
+// time is denied under conservative backfilling even when it provably does
+// not displace the head.
+func TestConservativeDeniesLongCandidates(t *testing.T) {
+	tree := topology.MustNew(4)
+	jobs := []struct {
+		id   int64
+		size int
+		arr  float64
+		run  float64
+	}{
+		{1, 12, 0, 100},
+		{2, 8, 1, 100}, // head, blocked
+		{3, 4, 2, 300}, // harmless long candidate
+	}
+	mk := func(conservative bool) map[int64]float64 {
+		s := newSched(baseline.NewAllocator(tree))
+		s.Conservative = conservative
+		trc := tr(16)
+		for _, j := range jobs {
+			trc.Jobs = append(trc.Jobs, job(j.id, j.size, j.arr, j.run))
+		}
+		res, err := s.Run(trc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := map[int64]float64{}
+		for _, r := range res.Records {
+			starts[r.Job.ID] = r.Start
+		}
+		return starts
+	}
+	easy := mk(false)
+	cons := mk(true)
+	if easy[3] != 2 {
+		t.Fatalf("EASY should admit the harmless long candidate at 2, got %g", easy[3])
+	}
+	if cons[3] < 100 {
+		t.Fatalf("conservative mode must deny it (start %g)", cons[3])
+	}
+	if easy[2] != 100 || cons[2] != 100 {
+		t.Fatal("the head's reservation must hold in both modes")
+	}
+}
+
+// TestConservativeStillBackfillsShortJobs: jobs finishing by the shadow time
+// are admitted in both modes.
+func TestConservativeStillBackfillsShortJobs(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := newSched(baseline.NewAllocator(tree))
+	s.Conservative = true
+	res, err := s.Run(tr(16,
+		job(1, 15, 0, 100),
+		job(2, 16, 1, 100),
+		job(3, 1, 2, 50),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 3 && r.Start != 2 {
+			t.Fatalf("short candidate should still backfill at 2, got %g", r.Start)
+		}
+	}
+}

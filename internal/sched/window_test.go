@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TestBackfillWindowLimit confirms that only jobs inside the lookahead
+// window are considered for backfilling.
+func TestBackfillWindowLimit(t *testing.T) {
+	tree := topology.MustNew(4) // 16 nodes
+	jobs := []trace.Job{
+		job(1, 15, 0, 100), // running
+		job(2, 16, 1, 100), // head, blocked
+		job(3, 16, 2, 100), // inside window but does not fit
+		job(4, 1, 3, 50),   // backfill candidate
+	}
+	s := newSched(baseline.NewAllocator(tree))
+	s.Window = 1 // only job 3 is examined; job 4 is beyond the window
+	res, err := s.Run(tr(16, jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int64]float64{}
+	for _, r := range res.Records {
+		starts[r.Job.ID] = r.Start
+	}
+	if starts[4] < 100 {
+		t.Fatalf("job 4 is outside the window and must not backfill (start %g)", starts[4])
+	}
+
+	// With the paper's window of 50 it backfills immediately.
+	s2 := newSched(baseline.NewAllocator(tree))
+	res2, err := s2.Run(tr(16, jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res2.Records {
+		if r.Job.ID == 4 && r.Start != 3 {
+			t.Fatalf("job 4 should backfill at 3, got %g", r.Start)
+		}
+	}
+}
+
+// TestReservationCacheCorrectness runs the same workload with caching
+// exercised by interleaved arrivals and checks the head job never starts
+// later than its shadow time from the uncached FIFO-only run would allow.
+func TestReservationCacheCorrectness(t *testing.T) {
+	tree := topology.MustNew(4)
+	var jobs []trace.Job
+	// A stream of arrivals while the head is blocked stresses the cache.
+	jobs = append(jobs, job(1, 16, 0, 100))
+	jobs = append(jobs, job(2, 16, 1, 100)) // head blocked until 100
+	for i := int64(3); i <= 30; i++ {
+		jobs = append(jobs, job(i, 1, float64(i), 1))
+	}
+	s := newSched(baseline.NewAllocator(tree))
+	res, err := s.Run(tr(16, jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 2 && r.Start != 100 {
+			t.Fatalf("head must start exactly at its reservation, got %g", r.Start)
+		}
+	}
+}
+
+// TestManyCompletionsSameInstant exercises batch completion handling.
+func TestManyCompletionsSameInstant(t *testing.T) {
+	tree := topology.MustNew(4)
+	var jobs []trace.Job
+	for i := int64(1); i <= 16; i++ {
+		jobs = append(jobs, job(i, 1, 0, 100)) // all end at exactly 100
+	}
+	jobs = append(jobs, job(17, 16, 0, 10)) // needs all of them gone
+	s := newSched(baseline.NewAllocator(tree))
+	res, err := s.Run(tr(16, jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 17 {
+			if r.Start != 100 {
+				t.Fatalf("whole-machine job should start at 100, got %g", r.Start)
+			}
+		}
+	}
+}
+
+// TestZeroJobTrace is the trivial boundary.
+func TestZeroJobTrace(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := newSched(baseline.NewAllocator(tree))
+	res, err := s.Run(tr(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || len(res.UtilSeries) != 0 {
+		t.Fatal("empty trace should produce empty result")
+	}
+}
+
+// TestArrivalOrderStableForEqualTimes: jobs arriving together are served in
+// ID order.
+func TestArrivalOrderStableForEqualTimes(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := newSched(baseline.NewAllocator(tree))
+	s.DisableBackfill = true
+	res, err := s.Run(tr(16,
+		job(5, 16, 0, 10),
+		job(1, 16, 0, 10),
+		job(3, 16, 0, 10),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 5}
+	for i, r := range res.Records {
+		if r.Job.ID != want[i] {
+			t.Fatalf("completion %d is job %d, want %d", i, r.Job.ID, want[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 3, Payload: "c"})
+	q.Push(Event{Time: 1, Payload: "a"})
+	q.Push(Event{Time: 2, Payload: "b"})
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		if got := q.Pop().Payload.(string); got != w {
+			t.Fatalf("got %q, want %q", got, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCompletionsBeforeArrivalsAtSameTime(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 5, Prio: PrioArrival, Payload: "arrival"})
+	q.Push(Event{Time: 5, Prio: PrioCompletion, Payload: "completion"})
+	if q.Pop().Payload.(string) != "completion" {
+		t.Fatal("completion must come first at equal times")
+	}
+}
+
+func TestFIFOWithinSameTimeAndPrio(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{Time: 1, Prio: PrioArrival, Payload: i})
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop().Payload.(int); got != i {
+			t.Fatalf("insertion order broken: got %d at %d", got, i)
+		}
+	}
+}
+
+func TestQuickSortedDrain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			q.Push(Event{Time: float64(rng.Intn(20)), Prio: rng.Intn(2)})
+		}
+		lastT, lastP := -1.0, -1
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < lastT {
+				return false
+			}
+			if e.Time == lastT && e.Prio < lastP {
+				return false
+			}
+			lastT, lastP = e.Time, e.Prio
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 1, Payload: "x"})
+	if q.Peek().Payload.(string) != "x" || q.Len() != 1 {
+		t.Fatal("peek must not remove")
+	}
+}

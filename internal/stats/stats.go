@@ -1,0 +1,120 @@
+// Package stats provides the small summary-statistics toolkit the reporting
+// layer uses: means, percentiles, histograms, and distribution summaries of
+// job metrics. Implemented here (rather than importing a dependency) because
+// the module is stdlib-only.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	P90, P95, P99, Max float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:    len(s),
+		Mean: mean,
+		Std:  math.Sqrt(variance),
+		Min:  s[0],
+		P25:  Percentile(s, 25),
+		P50:  Percentile(s, 50),
+		P75:  Percentile(s, 75),
+		P90:  Percentile(s, 90),
+		P95:  Percentile(s, 95),
+		P99:  Percentile(s, 99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of a sorted sample using
+// linear interpolation between closest ranks. It panics if the sample is
+// unsorted in debug-worthy ways only (it trusts the caller); an empty sample
+// returns 0.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Histogram counts samples into equal-width buckets over [lo, hi]; samples
+// outside the range clamp to the first/last bucket.
+func Histogram(xs []float64, lo, hi float64, buckets int) []int {
+	if buckets < 1 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, buckets)
+	w := (hi - lo) / float64(buckets)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= buckets {
+			i = buckets - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// Bar renders a proportional ASCII bar of at most width cells for value out
+// of max. Used by the report tables to sketch the paper's bar charts.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 || width < 1 {
+		return ""
+	}
+	n := int(value/max*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,161 @@
+package topology
+
+import "fmt"
+
+// LeafUpRef identifies one leaf uplink: the link from global leaf Leaf to L2
+// switch L2 of the leaf's pod.
+type LeafUpRef struct {
+	Leaf int32
+	L2   int8
+}
+
+// SpineUpRef identifies one spine uplink: the link from L2 switch L2 of pod
+// Pod to spine Spine of group L2.
+type SpineUpRef struct {
+	Pod   int16
+	L2    int8
+	Spine int8
+}
+
+// Placement is the flat record of everything a job was allocated: nodes,
+// leaf uplinks, and spine uplinks, plus the per-link bandwidth demand that
+// was charged. Placements are produced by allocators, applied to a State
+// when the job starts, and released when it completes. A Placement may be
+// applied to any State with compatible geometry, which is how EASY
+// reservation checks replay placements on cloned states.
+type Placement struct {
+	Job      JobID
+	Demand   int32
+	Nodes    []NodeID
+	LeafUps  []LeafUpRef
+	SpineUps []SpineUpRef
+}
+
+// NewPlacement returns an empty placement for the job with the given
+// per-link demand.
+func NewPlacement(job JobID, demand int32) *Placement {
+	return &Placement{Job: job, Demand: demand}
+}
+
+// AddLeafNodes records (and will apply) n nodes on the given leaf.
+// Node IDs are assigned at Apply time (lowest free slots first), so the same
+// Placement applied to different states may occupy different slots; the leaf
+// and count are what matter for the allocation conditions.
+//
+// To keep Apply deterministic and reversible, AddLeafNodes stores a negative
+// sentinel carrying the leaf and count; Apply resolves it.
+func (p *Placement) AddLeafNodes(leafIdx, n int) {
+	for k := 0; k < n; k++ {
+		p.Nodes = append(p.Nodes, encodePending(leafIdx))
+	}
+}
+
+// pending node entries are encoded as -(leafIdx+1); Apply replaces them with
+// concrete node IDs.
+func encodePending(leafIdx int) NodeID { return NodeID(-(leafIdx + 1)) }
+
+func pendingLeaf(n NodeID) (int, bool) {
+	if n < 0 {
+		return int(-n) - 1, true
+	}
+	return 0, false
+}
+
+// AddLeafUp records one leaf uplink.
+func (p *Placement) AddLeafUp(leafIdx, l2 int) {
+	p.LeafUps = append(p.LeafUps, LeafUpRef{Leaf: int32(leafIdx), L2: int8(l2)})
+}
+
+// AddSpineUp records one spine uplink.
+func (p *Placement) AddSpineUp(pod, l2, spine int) {
+	p.SpineUps = append(p.SpineUps, SpineUpRef{Pod: int16(pod), L2: int8(l2), Spine: int8(spine)})
+}
+
+// Size returns the number of nodes in the placement.
+func (p *Placement) Size() int { return len(p.Nodes) }
+
+// Apply charges the placement against the state: nodes become owned by the
+// job and link residuals drop by Demand. Pending node entries are resolved
+// to concrete free slots. Apply panics if the state cannot satisfy the
+// placement; allocators only construct placements they have verified against
+// the same state.
+func (p *Placement) Apply(s *State) {
+	// Group pending nodes by leaf so slots are taken contiguously.
+	i := 0
+	for i < len(p.Nodes) {
+		leafIdx, ok := pendingLeaf(p.Nodes[i])
+		if !ok {
+			// Concrete ID (re-apply after Release): take the exact node.
+			p.applyConcrete(s, i)
+			i++
+			continue
+		}
+		j := i
+		for j < len(p.Nodes) {
+			l, ok2 := pendingLeaf(p.Nodes[j])
+			if !ok2 || l != leafIdx {
+				break
+			}
+			j++
+		}
+		ids := s.takeNodes(leafIdx, j-i, p.Job)
+		copy(p.Nodes[i:j], ids)
+		i = j
+	}
+	for _, u := range p.LeafUps {
+		s.takeLeafUp(int(u.Leaf), int(u.L2), p.Demand)
+	}
+	for _, u := range p.SpineUps {
+		s.takeSpineUp(int(u.Pod), int(u.L2), int(u.Spine), p.Demand)
+	}
+}
+
+// applyConcrete takes the exact node p.Nodes[i] from the state.
+func (p *Placement) applyConcrete(s *State, i int) {
+	n := p.Nodes[i]
+	leafIdx := int(n) / s.Tree.NodesPerLeaf
+	slot := int(n) % s.Tree.NodesPerLeaf
+	if s.freeNode[leafIdx]&(1<<slot) == 0 {
+		panic(fmt.Sprintf("topology: node %d not free on re-apply", n))
+	}
+	s.freeNode[leafIdx] &^= 1 << slot
+	s.freeCnt[leafIdx]--
+	s.freeTotal--
+	s.nodeOwner[n] = p.Job
+}
+
+// Release returns every node and link of the placement to the state.
+func (p *Placement) Release(s *State) {
+	for _, n := range p.Nodes {
+		if n < 0 {
+			panic("topology: releasing a placement that was never applied")
+		}
+		s.returnNode(n)
+	}
+	for _, u := range p.LeafUps {
+		s.returnLeafUp(int(u.Leaf), int(u.L2), p.Demand)
+	}
+	for _, u := range p.SpineUps {
+		s.returnSpineUp(int(u.Pod), int(u.L2), int(u.Spine), p.Demand)
+	}
+}
+
+// Leaves returns the set of distinct global leaf indices holding the
+// placement's nodes. Pending and concrete entries are both handled.
+func (p *Placement) Leaves(t *FatTree) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range p.Nodes {
+		var leaf int
+		if l, ok := pendingLeaf(n); ok {
+			leaf = l
+		} else {
+			leaf = int(n) / t.NodesPerLeaf
+		}
+		if !seen[leaf] {
+			seen[leaf] = true
+			out = append(out, leaf)
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// State tracks the allocation status of every node and every isolatable link
+// of a fat-tree.
+//
+// Links are modelled with integer residual capacity so that the same state
+// machinery serves both the isolating schedulers (capacity 1, demand 1: a
+// link belongs to at most one job) and the LC+S bounding scheduler, which
+// shares links fractionally (capacity in bandwidth units, per-job demands
+// below it). Two link classes matter for isolation:
+//
+//   - leaf uplinks: one per (leaf, L2 index) pair within a pod;
+//   - spine uplinks: one per (pod, L2 index, spine-in-group) triple.
+//
+// Node-to-leaf links are dedicated per node and never shared, so they are
+// represented implicitly by node ownership.
+//
+// The zero State is not usable; construct with NewState. State is not safe
+// for concurrent use.
+type State struct {
+	Tree *FatTree
+	// Capacity is the initial residual of every link, in arbitrary
+	// bandwidth units. Isolating schedulers use 1.
+	Capacity int32
+
+	nodeOwner []JobID  // per node; 0 = free
+	freeNode  []uint64 // per leaf: bitmask of free slots
+	freeCnt   []int32  // per leaf: number of free slots
+	leafUp    []int32  // residual per (leafIdx*L2PerPod + i)
+	spineUp   []int32  // residual per ((pod*L2PerPod + i)*SpinesPerGroup + s)
+	freeTotal int      // total free nodes
+}
+
+// NewState returns a fully-free allocation state for the tree with the given
+// per-link capacity (use 1 for isolating schedulers).
+func NewState(tree *FatTree, capacity int32) *State {
+	if capacity < 1 {
+		panic(fmt.Sprintf("topology: link capacity must be >= 1, got %d", capacity))
+	}
+	leaves := tree.Leaves()
+	s := &State{
+		Tree:      tree,
+		Capacity:  capacity,
+		nodeOwner: make([]JobID, tree.Nodes()),
+		freeNode:  make([]uint64, leaves),
+		freeCnt:   make([]int32, leaves),
+		leafUp:    make([]int32, leaves*tree.L2PerPod),
+		spineUp:   make([]int32, tree.Pods*tree.L2PerPod*tree.SpinesPerGroup),
+		freeTotal: tree.Nodes(),
+	}
+	full := uint64(1)<<tree.NodesPerLeaf - 1
+	for l := range s.freeNode {
+		s.freeNode[l] = full
+		s.freeCnt[l] = int32(tree.NodesPerLeaf)
+	}
+	for i := range s.leafUp {
+		s.leafUp[i] = capacity
+	}
+	for i := range s.spineUp {
+		s.spineUp[i] = capacity
+	}
+	return s
+}
+
+// Clone returns a deep copy of the state, for what-if searches such as EASY
+// reservation computation.
+func (s *State) Clone() *State {
+	c := &State{
+		Tree:      s.Tree,
+		Capacity:  s.Capacity,
+		nodeOwner: append([]JobID(nil), s.nodeOwner...),
+		freeNode:  append([]uint64(nil), s.freeNode...),
+		freeCnt:   append([]int32(nil), s.freeCnt...),
+		leafUp:    append([]int32(nil), s.leafUp...),
+		spineUp:   append([]int32(nil), s.spineUp...),
+		freeTotal: s.freeTotal,
+	}
+	return c
+}
+
+// FreeNodes returns the total number of unallocated nodes.
+func (s *State) FreeNodes() int { return s.freeTotal }
+
+// AllocatedNodes returns the total number of allocated nodes.
+func (s *State) AllocatedNodes() int { return s.Tree.Nodes() - s.freeTotal }
+
+// FreeInLeaf returns the number of free nodes on the given global leaf.
+func (s *State) FreeInLeaf(leafIdx int) int { return int(s.freeCnt[leafIdx]) }
+
+// FreeInPod returns the number of free nodes in the given pod.
+func (s *State) FreeInPod(pod int) int {
+	n := 0
+	base := pod * s.Tree.LeavesPerPod
+	for l := 0; l < s.Tree.LeavesPerPod; l++ {
+		n += int(s.freeCnt[base+l])
+	}
+	return n
+}
+
+// Owner returns the job owning node n, or 0 if the node is free.
+func (s *State) Owner(n NodeID) JobID { return s.nodeOwner[n] }
+
+// LeafUpMask returns a bitmask over L2 indices i such that the uplink from
+// the given leaf to L2 switch i has residual capacity >= demand.
+func (s *State) LeafUpMask(leafIdx int, demand int32) uint64 {
+	var m uint64
+	base := leafIdx * s.Tree.L2PerPod
+	for i := 0; i < s.Tree.L2PerPod; i++ {
+		if s.leafUp[base+i] >= demand {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// SpineMask returns a bitmask over spines-in-group s such that the uplink
+// from L2 switch i of the given pod to that spine has residual >= demand.
+func (s *State) SpineMask(pod, l2 int, demand int32) uint64 {
+	var m uint64
+	base := (pod*s.Tree.L2PerPod + l2) * s.Tree.SpinesPerGroup
+	for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
+		if s.spineUp[base+sp] >= demand {
+			m |= 1 << sp
+		}
+	}
+	return m
+}
+
+// LeafUpResidual returns the residual capacity of the uplink from the given
+// leaf to L2 switch i.
+func (s *State) LeafUpResidual(leafIdx, i int) int32 {
+	return s.leafUp[leafIdx*s.Tree.L2PerPod+i]
+}
+
+// SpineUpResidual returns the residual capacity of the uplink from L2 switch
+// i of the given pod to spine sp of group i.
+func (s *State) SpineUpResidual(pod, l2, sp int) int32 {
+	return s.spineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
+}
+
+// FullyFreeLeaf reports whether every node and every uplink of the leaf is
+// completely unallocated (full residual).
+func (s *State) FullyFreeLeaf(leafIdx int) bool {
+	return s.WholeLeafAvailable(leafIdx, s.Capacity)
+}
+
+// WholeLeafAvailable reports whether the leaf can serve as a whole leaf for
+// a job with the given per-link bandwidth demand: every node free and every
+// uplink with at least demand residual. With demand equal to the capacity
+// this is exactly FullyFreeLeaf; link-sharing schemes pass smaller demands.
+func (s *State) WholeLeafAvailable(leafIdx int, demand int32) bool {
+	if int(s.freeCnt[leafIdx]) != s.Tree.NodesPerLeaf {
+		return false
+	}
+	base := leafIdx * s.Tree.L2PerPod
+	for i := 0; i < s.Tree.L2PerPod; i++ {
+		if s.leafUp[base+i] < demand {
+			return false
+		}
+	}
+	return true
+}
+
+// takeNodes allocates n free nodes (lowest slots first) on the leaf to job.
+// It panics if fewer than n nodes are free; callers check availability first.
+func (s *State) takeNodes(leafIdx, n int, job JobID) []NodeID {
+	if int(s.freeCnt[leafIdx]) < n {
+		panic(fmt.Sprintf("topology: leaf %d has %d free nodes, need %d", leafIdx, s.freeCnt[leafIdx], n))
+	}
+	out := make([]NodeID, 0, n)
+	m := s.freeNode[leafIdx]
+	for k := 0; k < n; k++ {
+		slot := bits.TrailingZeros64(m)
+		m &^= 1 << slot
+		id := NodeID(leafIdx*s.Tree.NodesPerLeaf + slot)
+		s.nodeOwner[id] = job
+		out = append(out, id)
+	}
+	s.freeNode[leafIdx] = m
+	s.freeCnt[leafIdx] -= int32(n)
+	s.freeTotal -= n
+	return out
+}
+
+// returnNode frees a single node.
+func (s *State) returnNode(n NodeID) {
+	if s.nodeOwner[n] == 0 {
+		panic(fmt.Sprintf("topology: double free of node %d", n))
+	}
+	s.nodeOwner[n] = 0
+	leafIdx := int(n) / s.Tree.NodesPerLeaf
+	slot := int(n) % s.Tree.NodesPerLeaf
+	s.freeNode[leafIdx] |= 1 << slot
+	s.freeCnt[leafIdx]++
+	s.freeTotal++
+}
+
+// takeLeafUp consumes demand units of the uplink (leafIdx -> L2 i).
+func (s *State) takeLeafUp(leafIdx, i int, demand int32) {
+	r := &s.leafUp[leafIdx*s.Tree.L2PerPod+i]
+	if *r < demand {
+		panic(fmt.Sprintf("topology: leaf %d uplink %d over-allocated (%d < %d)", leafIdx, i, *r, demand))
+	}
+	*r -= demand
+}
+
+// takeSpineUp consumes demand units of the uplink (pod, L2 i -> spine sp).
+func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
+	r := &s.spineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
+	if *r < demand {
+		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d over-allocated (%d < %d)", pod, l2, sp, *r, demand))
+	}
+	*r -= demand
+}
+
+func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
+	r := &s.leafUp[leafIdx*s.Tree.L2PerPod+i]
+	*r += demand
+	if *r > s.Capacity {
+		panic(fmt.Sprintf("topology: leaf %d uplink %d residual %d exceeds capacity", leafIdx, i, *r))
+	}
+}
+
+func (s *State) returnSpineUp(pod, l2, sp int, demand int32) {
+	r := &s.spineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
+	*r += demand
+	if *r > s.Capacity {
+		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d residual %d exceeds capacity", pod, l2, sp, *r))
+	}
+}

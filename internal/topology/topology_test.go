@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometry(t *testing.T) {
+	cases := []struct {
+		radix, nodes int
+	}{
+		{4, 4 * 2 * 2},
+		{8, 8 * 4 * 4},
+		{16, 1024},
+		{18, 1458},
+		{22, 2662},
+		{28, 5488},
+	}
+	for _, c := range cases {
+		ft, err := New(c.radix)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c.radix, err)
+		}
+		if ft.Nodes() != c.nodes {
+			t.Errorf("radix %d: nodes = %d, want %d", c.radix, ft.Nodes(), c.nodes)
+		}
+		if ft.PodNodes() != (c.radix/2)*(c.radix/2) {
+			t.Errorf("radix %d: pod nodes = %d", c.radix, ft.PodNodes())
+		}
+		if ft.Spines() != (c.radix/2)*(c.radix/2) {
+			t.Errorf("radix %d: spines = %d", c.radix, ft.Spines())
+		}
+	}
+}
+
+func TestNewRejectsBadRadix(t *testing.T) {
+	for _, r := range []int{0, 1, 2, 3, 5, 7, 130} {
+		if _, err := New(r); err == nil {
+			t.Errorf("New(%d): expected error", r)
+		}
+	}
+}
+
+func TestNodeIndexRoundTrip(t *testing.T) {
+	ft := MustNew(8)
+	for pod := 0; pod < ft.Pods; pod++ {
+		for leaf := 0; leaf < ft.LeavesPerPod; leaf++ {
+			for slot := 0; slot < ft.NodesPerLeaf; slot++ {
+				n := ft.Node(pod, leaf, slot)
+				if ft.NodePod(n) != pod || ft.NodeSlot(n) != slot {
+					t.Fatalf("round trip failed for (%d,%d,%d) -> %d", pod, leaf, slot, n)
+				}
+				if ft.NodeLeaf(n) != ft.LeafIndex(pod, leaf) {
+					t.Fatalf("leaf index mismatch for node %d", n)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafIndexRoundTrip(t *testing.T) {
+	ft := MustNew(6)
+	for pod := 0; pod < ft.Pods; pod++ {
+		for leaf := 0; leaf < ft.LeavesPerPod; leaf++ {
+			idx := ft.LeafIndex(pod, leaf)
+			if ft.LeafPod(idx) != pod || ft.LeafInPod(idx) != leaf {
+				t.Fatalf("leaf round trip failed for (%d,%d)", pod, leaf)
+			}
+		}
+	}
+}
+
+func TestStateInitiallyFree(t *testing.T) {
+	ft := MustNew(8)
+	s := NewState(ft, 1)
+	if s.FreeNodes() != ft.Nodes() {
+		t.Fatalf("free = %d, want %d", s.FreeNodes(), ft.Nodes())
+	}
+	for l := 0; l < ft.Leaves(); l++ {
+		if !s.FullyFreeLeaf(l) {
+			t.Fatalf("leaf %d not fully free", l)
+		}
+		if s.LeafUpMask(l, 1) != (1<<ft.L2PerPod)-1 {
+			t.Fatalf("leaf %d uplink mask wrong", l)
+		}
+	}
+	for p := 0; p < ft.Pods; p++ {
+		for i := 0; i < ft.L2PerPod; i++ {
+			if s.SpineMask(p, i, 1) != (1<<ft.SpinesPerGroup)-1 {
+				t.Fatalf("pod %d l2 %d spine mask wrong", p, i)
+			}
+		}
+	}
+}
+
+func TestPlacementApplyRelease(t *testing.T) {
+	ft := MustNew(8)
+	s := NewState(ft, 1)
+	p := NewPlacement(7, 1)
+	p.AddLeafNodes(0, 3)
+	p.AddLeafNodes(5, 2)
+	p.AddLeafUp(0, 1)
+	p.AddLeafUp(0, 2)
+	p.AddSpineUp(1, 2, 3)
+	p.Apply(s)
+
+	if s.FreeNodes() != ft.Nodes()-5 {
+		t.Fatalf("free = %d", s.FreeNodes())
+	}
+	if s.FreeInLeaf(0) != ft.NodesPerLeaf-3 {
+		t.Fatalf("leaf 0 free = %d", s.FreeInLeaf(0))
+	}
+	if got := s.LeafUpMask(0, 1); got != (1<<ft.L2PerPod)-1-(1<<1)-(1<<2) {
+		t.Fatalf("leaf 0 uplink mask = %b", got)
+	}
+	if s.SpineUpResidual(1, 2, 3) != 0 {
+		t.Fatal("spine uplink not charged")
+	}
+	for _, n := range p.Nodes {
+		if n < 0 {
+			t.Fatal("pending node not resolved by Apply")
+		}
+		if s.Owner(n) != 7 {
+			t.Fatalf("node %d owner = %d", n, s.Owner(n))
+		}
+	}
+
+	p.Release(s)
+	if s.FreeNodes() != ft.Nodes() {
+		t.Fatal("release did not restore all nodes")
+	}
+	if !s.FullyFreeLeaf(0) || !s.FullyFreeLeaf(5) {
+		t.Fatal("release did not restore leaves")
+	}
+	if s.SpineUpResidual(1, 2, 3) != 1 {
+		t.Fatal("release did not restore spine uplink")
+	}
+}
+
+func TestPlacementReapplyConcrete(t *testing.T) {
+	ft := MustNew(8)
+	s := NewState(ft, 1)
+	p := NewPlacement(9, 1)
+	p.AddLeafNodes(2, 4)
+	p.Apply(s)
+	nodes := append([]NodeID(nil), p.Nodes...)
+	p.Release(s)
+
+	// Re-apply to a clone: must take the exact same nodes.
+	c := s.Clone()
+	p.Apply(c)
+	for i, n := range p.Nodes {
+		if n != nodes[i] {
+			t.Fatalf("re-apply moved node %d -> %d", nodes[i], n)
+		}
+	}
+	if s.FreeNodes() != ft.Nodes() {
+		t.Fatal("original state mutated by clone apply")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ft := MustNew(6)
+	s := NewState(ft, 1)
+	p := NewPlacement(1, 1)
+	p.AddLeafNodes(0, 2)
+	p.AddLeafUp(0, 0)
+	p.Apply(s)
+
+	c := s.Clone()
+	p2 := NewPlacement(2, 1)
+	p2.AddLeafNodes(1, 3)
+	p2.Apply(c)
+
+	if s.FreeInLeaf(1) != ft.NodesPerLeaf {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if c.FreeInLeaf(1) != ft.NodesPerLeaf-3 {
+		t.Fatal("clone not mutated")
+	}
+}
+
+func TestBandwidthSharing(t *testing.T) {
+	ft := MustNew(6)
+	s := NewState(ft, 40) // 4.0 GB/s in 0.1 GB/s units
+	a := NewPlacement(1, 15)
+	a.AddLeafUp(0, 0)
+	a.Apply(s)
+	b := NewPlacement(2, 20)
+	b.AddLeafUp(0, 0)
+	b.Apply(s)
+	if got := s.LeafUpResidual(0, 0); got != 5 {
+		t.Fatalf("residual = %d, want 5", got)
+	}
+	if s.LeafUpMask(0, 10)&1 != 0 {
+		t.Fatal("link should not admit demand 10")
+	}
+	if s.LeafUpMask(0, 5)&1 == 0 {
+		t.Fatal("link should admit demand 5")
+	}
+	a.Release(s)
+	b.Release(s)
+	if s.LeafUpResidual(0, 0) != 40 {
+		t.Fatal("release did not restore bandwidth")
+	}
+}
+
+// Property: any sequence of applies followed by releases restores the
+// pristine state exactly.
+func TestQuickApplyReleaseRestores(t *testing.T) {
+	ft := MustNew(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(ft, 1)
+		var ps []*Placement
+		for j := 1; j <= 10; j++ {
+			p := NewPlacement(JobID(j), 1)
+			leaf := rng.Intn(ft.Leaves())
+			n := rng.Intn(s.FreeInLeaf(leaf) + 1)
+			p.AddLeafNodes(leaf, n)
+			for i := 0; i < ft.L2PerPod; i++ {
+				if s.LeafUpResidual(leaf, i) == 1 && rng.Intn(2) == 0 {
+					p.AddLeafUp(leaf, i)
+				}
+			}
+			p.Apply(s)
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			p.Release(s)
+		}
+		if s.FreeNodes() != ft.Nodes() {
+			return false
+		}
+		for l := 0; l < ft.Leaves(); l++ {
+			if !s.FullyFreeLeaf(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

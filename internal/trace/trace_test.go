@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSynthMatchesRecipe(t *testing.T) {
+	tr := Synth16(1.0)
+	if len(tr.Jobs) != 10000 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxSize() != 138 {
+		t.Fatalf("max size = %d, want 138", tr.MaxSize())
+	}
+	lo, hi := tr.RuntimeRange()
+	if lo < 20 || hi > 3000 {
+		t.Fatalf("runtime range [%g, %g] outside [20, 3000]", lo, hi)
+	}
+	mean := 0.0
+	ones := 0
+	for _, j := range tr.Jobs {
+		mean += float64(j.Size)
+		if j.Size == 1 {
+			ones++
+		}
+		if j.Arrival != 0 {
+			t.Fatal("synthetic jobs must arrive at time zero")
+		}
+	}
+	mean /= float64(len(tr.Jobs))
+	if math.Abs(mean-16) > 3 {
+		t.Fatalf("mean size = %g, want about 16", mean)
+	}
+	if ones == 0 {
+		t.Fatal("trace must contain single-node jobs (Table 1)")
+	}
+}
+
+func TestAllTracesMatchTable1(t *testing.T) {
+	cases := []struct {
+		tr       *Trace
+		jobs     int
+		maxSize  int
+		system   int
+		arrivals bool
+	}{
+		{Synth16(1), 10000, 138, 1024, false},
+		{Synth22(1), 10000, 190, 2662, false},
+		{Synth28(1), 10000, 241, 5488, false},
+		{AugCab(1), 30691, 257, 1296, true},
+		{SepCab(1), 87564, 256, 1296, true},
+		{OctCab(1), 125228, 258, 1296, true},
+		{NovCab(1), 50353, 256, 1296, true},
+		{ThunderLike(1), 105764, 965, 1024, false},
+		{AtlasLike(1), 29700, 1024, 1152, false},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.tr.Name, err)
+		}
+		if len(c.tr.Jobs) != c.jobs {
+			t.Errorf("%s: jobs = %d, want %d", c.tr.Name, len(c.tr.Jobs), c.jobs)
+		}
+		if got := c.tr.MaxSize(); got != c.maxSize {
+			t.Errorf("%s: max size = %d, want %d", c.tr.Name, got, c.maxSize)
+		}
+		if c.tr.SystemNodes != c.system {
+			t.Errorf("%s: system = %d, want %d", c.tr.Name, c.tr.SystemNodes, c.system)
+		}
+		if c.tr.RealArrivals != c.arrivals {
+			t.Errorf("%s: real arrivals = %v", c.tr.Name, c.tr.RealArrivals)
+		}
+	}
+}
+
+func TestArrivalsSortedAndSpread(t *testing.T) {
+	tr := SepCab(0.05)
+	last := -1.0
+	for _, j := range tr.Jobs {
+		if j.Arrival < last {
+			t.Fatal("arrivals must be non-decreasing")
+		}
+		last = j.Arrival
+	}
+	if last == 0 {
+		t.Fatal("Cab arrivals must be spread over time")
+	}
+}
+
+func TestScaleShrinksJobCounts(t *testing.T) {
+	small := ThunderLike(0.01)
+	if len(small.Jobs) >= 105764 || len(small.Jobs) < 200 {
+		t.Fatalf("scaled jobs = %d", len(small.Jobs))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := OctCab(0.02), OctCab(0.02)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("nondeterministic job count")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatal("nondeterministic jobs")
+		}
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	tr := AugCab(0.02)
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSWF(&buf, "Aug-Cab", tr.SystemNodes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range got.Jobs {
+		if got.Jobs[i].Size != tr.Jobs[i].Size {
+			t.Fatal("size mismatch after round trip")
+		}
+		if math.Abs(got.Jobs[i].Runtime-tr.Jobs[i].Runtime) > 0.001 {
+			t.Fatal("runtime mismatch after round trip")
+		}
+	}
+}
+
+func TestSWFSkipsInvalidAndComments(t *testing.T) {
+	in := `; comment
+1 0 -1 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 10 -1 0 4 -1 -1 4 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+3 20 -1 50 0 -1 -1 0 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+4 30 -1 60 8 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	tr, err := ParseSWF(strings.NewReader(in), "t", 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (zero-runtime and zero-size skipped)", len(tr.Jobs))
+	}
+	if tr.Jobs[1].Size != 8 {
+		t.Fatal("allocated processors should be used when requested is missing")
+	}
+	if tr.Jobs[0].Arrival != 0 || tr.Jobs[1].Arrival != 30 {
+		t.Fatal("arrivals should be normalized to start at zero")
+	}
+}
+
+func TestSWFZeroArrivals(t *testing.T) {
+	in := "1 500 -1 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	tr, err := ParseSWF(strings.NewReader(in), "t", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Arrival != 0 {
+		t.Fatal("zeroArrivals must discard submit times")
+	}
+}
+
+func TestSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n"), "t", 0, false); err == nil {
+		t.Fatal("short line must error")
+	}
+	if _, err := ParseSWF(strings.NewReader("a b c d e f g h\n"), "t", 0, false); err == nil {
+		t.Fatal("malformed numbers must error")
+	}
+	if _, err := ParseSWF(strings.NewReader("; nothing\n"), "t", 0, false); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}

@@ -1,0 +1,103 @@
+package jigsaw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tree, err := NewFatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes() {
+		a, err := NewAllocator(scheme, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != scheme {
+			t.Fatalf("allocator name %q != scheme %q", a.Name(), scheme)
+		}
+		pl, ok := a.Allocate(1, 10)
+		if !ok {
+			t.Fatalf("%s: allocation failed on empty machine", scheme)
+		}
+		a.Release(pl)
+		if a.FreeNodes() != tree.Nodes() {
+			t.Fatalf("%s: leak", scheme)
+		}
+	}
+	if _, err := NewAllocator("bogus", tree); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestPublicSimulationRun(t *testing.T) {
+	tree, _ := NewFatTree(8)
+	a, _ := NewAllocator(SchemeJigsaw, tree)
+	sc, err := ScenarioByName("10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(a, sc)
+	s.MeasureAllocTime = false
+	tr := &Trace{Name: "t", SystemNodes: tree.Nodes(), Jobs: []Job{
+		{ID: 1, Size: 30, Arrival: 0, Runtime: 110},
+		{ID: 2, Size: 60, Arrival: 0, Runtime: 110},
+	}}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatal("both jobs should run")
+	}
+	if got := res.Records[0].End; math.Abs(got-100) > 1e-9 {
+		t.Fatalf("10%% speed-up should shorten the 110 s job to 100 s, got %g", got)
+	}
+	if Utilization(res) <= 0 || math.Abs(Makespan(res)-100) > 1e-9 {
+		t.Fatal("metrics inconsistent")
+	}
+	if math.Abs(MeanTurnaround(res, 0)-100) > 1e-9 {
+		t.Fatalf("turnaround = %g", MeanTurnaround(res, 0))
+	}
+}
+
+func TestPublicRoutingRoundTrip(t *testing.T) {
+	tree, _ := NewFatTree(8)
+	a := NewJigsawAllocator(tree)
+	p, ok := a.FindPartition(24)
+	if !ok {
+		t.Fatal("no partition")
+	}
+	if err := VerifyPartition(p, tree); err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(24)
+	routes, err := RoutePermutation(tree, p, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRoutes(tree, p, routes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicScenarioAndTraceListings(t *testing.T) {
+	if len(Scenarios()) != 6 {
+		t.Fatal("expected six scenarios")
+	}
+	ts := Traces(0.02)
+	if len(ts) != 9 {
+		t.Fatal("expected nine traces")
+	}
+	for _, tr := range ts {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = trace.All // keep the internal import honest
+}
