@@ -150,6 +150,42 @@ func BenchmarkAllocateTA1024(b *testing.B)       { allocBench(b, SchemeTA, 16) }
 func BenchmarkAllocateLCS1024(b *testing.B)      { allocBench(b, SchemeLCS, 16) }
 func BenchmarkAllocateBaseline1024(b *testing.B) { allocBench(b, SchemeBaseline, 16) }
 
+// BenchmarkEngineSubmitThroughput measures the online engine's sustained
+// job-intake rate (Submit + AdvanceTo, i.e. the work jigsawd does per
+// request) on a 1024-node tree under the Jigsaw policy at ~90% offered load.
+func BenchmarkEngineSubmitThroughput(b *testing.B) {
+	tree := topology.MustNew(16) // 1024 nodes
+	eng, err := NewEngine(EngineConfig{Alloc: core.NewAllocator(tree)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Mean job ≈ 12.5 nodes x 300 s over a 4 s interarrival ≈ 0.92 of the
+	// machine, so the queue stays busy without growing unboundedly.
+	const interarrival = 4.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrival := float64(i) * interarrival
+		eng.AdvanceTo(arrival)
+		j := Job{
+			ID:      int64(i + 1),
+			Size:    1 + rng.Intn(24),
+			Arrival: arrival,
+			Runtime: 60 + rng.Float64()*480,
+		}
+		if err := eng.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Drain so every iteration pays its completion events too.
+	for {
+		if _, ok := eng.Step(); !ok {
+			break
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkRoutePermutation measures the constructive rearrangeable
 // non-blocking router on a multi-tree partition.
 func BenchmarkRoutePermutation(b *testing.B) {

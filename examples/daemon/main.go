@@ -1,0 +1,147 @@
+// Daemon starts the jigsawd scheduling service in-process, replays a
+// Synth-derived job stream against it over real HTTP in virtual-clock
+// (fast-forward) mode, and reports the utilization the daemon's /metrics
+// endpoint observed — the online-service counterpart of examples/compare.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	jigsaw "repro"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A 128-node (radix 8) cluster under the Jigsaw policy.
+	tree, err := jigsaw.NewFatTree(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := jigsaw.NewAllocator(jigsaw.SchemeJigsaw, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Alloc:        a,
+		VirtualClock: true, // fast-forward: replay the stream instantly
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("jigsawd serving on %s (Jigsaw policy, %d nodes, virtual clock)\n\n", base, tree.Nodes())
+
+	// A Synth-style backlog (exponential sizes, uniform runtimes), submitted
+	// from concurrent clients like the paper's all-at-t=0 traces. Keeping
+	// the daemon busy with requests builds a real queue before the
+	// virtual clock fast-forwards through the drain.
+	tr := trace.Synth(trace.SynthConfig{
+		Name: "daemon-demo", Jobs: 500, MeanSize: 10, MaxSize: 60, SnapUnit: 4,
+		MinRun: 20, MaxRun: 600, SystemNodes: tree.Nodes(), SimRadix: 8, Seed: 21,
+	})
+	t0 := time.Now()
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(tr.Jobs); i += clients {
+				j := tr.Jobs[i]
+				body, _ := json.Marshal(map[string]any{"size": j.Size, "runtime": j.Runtime})
+				resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("job %d: status %d", i, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		log.Fatal(err)
+	default:
+	}
+	dt := time.Since(t0)
+	fmt.Printf("submitted %d jobs over HTTP in %v (%.0f jobs/sec); waiting for the drain...\n",
+		len(tr.Jobs), dt.Round(time.Millisecond), float64(len(tr.Jobs))/dt.Seconds())
+
+	// The daemon fast-forwards whenever idle; poll until the queue drains.
+	for {
+		var c struct {
+			QueueDepth  int              `json:"queue_depth"`
+			RunningJobs int              `json:"running_jobs"`
+			Now         float64          `json:"now"`
+			Counts      map[string]int64 `json:"counts"`
+		}
+		resp, err := http.Get(base + "/v1/cluster")
+		if err != nil {
+			log.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&c)
+		resp.Body.Close()
+		if c.QueueDepth == 0 && c.RunningJobs == 0 && c.Counts["submitted"] == int64(len(tr.Jobs)) {
+			fmt.Printf("drained: %d completed, %d rejected, %.0f virtual seconds simulated\n\n",
+				c.Counts["completed"], c.Counts["rejected"], c.Now)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Read the run's utilization back from the Prometheus exposition.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	resp.Body.Close()
+	fmt.Println("selected /metrics lines:")
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, want := range []string{
+			"jigsawd_jobs_submitted_total", "jigsawd_jobs_completed_total",
+			"jigsawd_utilization_steady", "jigsawd_schedule_latency_seconds_p95",
+		} {
+			if strings.HasPrefix(line, want) {
+				fmt.Println("  ", line)
+			}
+		}
+	}
+
+	cancel() // graceful shutdown: drain in-flight requests, stop the engine
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndaemon shut down gracefully")
+}

@@ -1,0 +1,627 @@
+// Package engine is the incremental, event-driven core of the scheduler:
+// FIFO service order with EASY backfilling (Section 5.3) over any
+// alloc.Allocator, driven one event at a time instead of by a monolithic
+// run loop. The same engine powers both the batch trace simulator
+// (internal/sched re-implements Scheduler.Run on top of it, bit-for-bit)
+// and the online scheduling daemon (internal/server, cmd/jigsawd), which
+// feeds it live submissions and cancellations.
+//
+// The engine is single-threaded by design: it is not safe for concurrent
+// use, and the online server serializes every call onto one goroutine (see
+// internal/server). Virtual time only moves forward — Submit clamps
+// arrivals to the current clock, Step processes the next event timestamp,
+// and AdvanceTo drains every event up to a deadline.
+//
+// EASY backfilling gives only the job at the head of the queue a
+// reservation. When the head does not fit, its shadow time — the earliest
+// time it could start given the predicted completions of running jobs — is
+// computed by replaying completions on a cloned allocator. Queued jobs
+// within the lookahead window may then start immediately if they fit now and
+// either finish by the shadow time or provably do not displace the head's
+// reservation (checked on the clone). Predicted runtimes equal actual
+// runtimes, the same information the paper's simulator used.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// DefaultWindow is the paper's backfill lookahead (Section 5.4.3).
+const DefaultWindow = 50
+
+// timeEps absorbs floating-point slack in shadow-time comparisons.
+const timeEps = 1e-9
+
+// Config selects the scheduling policy the engine runs.
+type Config struct {
+	// Alloc is the placement policy; required.
+	Alloc alloc.Allocator
+	// Scenario assigns isolated-execution speed-ups; nil means none apply.
+	Scenario scenario.Scenario
+	// Window is the EASY backfill lookahead; 0 means DefaultWindow.
+	Window int
+	// DisableBackfill reverts to pure FIFO.
+	DisableBackfill bool
+	// Conservative restricts backfilling to candidates that finish by the
+	// head's shadow time (see sched.Scheduler.Conservative).
+	Conservative bool
+	// ApplySpeedups scales runtimes by the scenario.
+	ApplySpeedups bool
+	// MeasureAllocTime records wall-clock time spent in Allocate calls on
+	// the live state (Table 3). Disable for deterministic tests.
+	MeasureAllocTime bool
+}
+
+// State is the lifecycle stage of a submitted job.
+type State int
+
+// Job lifecycle states, in the order they can occur.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateCompleted
+	StateRejected
+	StateCancelled
+)
+
+// String returns the lowercase wire name used by the HTTP API.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateRejected:
+		return "rejected"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Counts tallies job outcomes over the engine's lifetime.
+type Counts struct {
+	Submitted, Started, Completed, Rejected, Cancelled int64
+}
+
+// Record is the outcome of one completed job.
+type Record struct {
+	Job trace.Job
+	// Runtime is the effective runtime used (after any speed-up).
+	Runtime    float64
+	Start, End float64
+}
+
+// Turnaround is the time from arrival to completion.
+func (r Record) Turnaround() float64 { return r.End - r.Job.Arrival }
+
+// UtilPoint is one step of the used-node time series: from T onward (until
+// the next point), Used nodes were doing work. "Used" counts requested job
+// sizes, never rounded-up allocations, matching the paper's utilization
+// definition.
+type UtilPoint struct {
+	T    float64
+	Used int
+}
+
+// Accounting is the evaluation-metric ledger the engine accumulates; the
+// batch simulator turns it into a sched.Result and the daemon's /metrics
+// endpoint reads it live. Slices are owned by the engine — callers must
+// treat them as read-only.
+type Accounting struct {
+	Records  []Record
+	Rejected []trace.Job
+	// UtilSeries is the used-node step function over the whole run.
+	UtilSeries []UtilPoint
+	// InstSamples holds the instantaneous utilization (used/total) observed
+	// at every scheduling or completion event (Table 2).
+	InstSamples []float64
+	// FirstArrival and LastEnd bound the run; SteadyEnd is the last event
+	// time at which the queue was non-empty, i.e. the start of the final
+	// drain (Section 5's steady-state cutoff).
+	FirstArrival, LastEnd, SteadyEnd float64
+	// AllocSeconds is wall-clock time spent in live Allocate calls;
+	// AllocCalls counts them (Table 3 divides by job count).
+	AllocSeconds float64
+	AllocCalls   int
+}
+
+// JobStatus is a point-in-time view of one submitted job.
+type JobStatus struct {
+	Job   trace.Job
+	State State
+	// Runtime is the effective (possibly sped-up) runtime.
+	Runtime float64
+	// Start is set once the job runs; End is the (predicted, then actual)
+	// completion time, or the cancellation time for cancelled running jobs.
+	Start, End float64
+}
+
+// Snapshot is a consistent view of the engine for observers.
+type Snapshot struct {
+	Now           float64
+	TotalNodes    int
+	UsedNodes     int
+	FreeNodes     int
+	QueueDepth    int
+	RunningJobs   int
+	PendingEvents int
+	// Queue lists waiting jobs in FIFO order; Running lists started jobs
+	// ordered by start time then ID.
+	Queue   []JobStatus
+	Running []JobStatus
+	Counts  Counts
+}
+
+// jobItem is a submitted job with its effective runtime and lifecycle state.
+type jobItem struct {
+	j     trace.Job
+	eff   float64
+	state State
+	start float64
+	end   float64
+	rj    *runningJob
+}
+
+func (it *jobItem) status() JobStatus {
+	return JobStatus{Job: it.j, State: it.state, Runtime: it.eff, Start: it.start, End: it.end}
+}
+
+// runningJob is a started job awaiting completion. Cancellation releases its
+// resources immediately and leaves the completion event in the heap as a
+// tombstone, skipped when popped.
+type runningJob struct {
+	it        *jobItem
+	pl        *topology.Placement
+	start     float64
+	end       float64
+	cancelled bool
+}
+
+// Engine is the incremental scheduler. The zero value is not usable;
+// construct with New. Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	window int
+
+	events sim.Queue
+	now    float64
+
+	queue   []*jobItem
+	running map[*runningJob]struct{}
+	jobs    map[int64]*jobItem
+	used    int
+	total   int
+
+	// releaseEpoch counts completions (and running-job cancellations). A
+	// blocked head job can only become placeable after a release, so FIFO
+	// retries and reservations are cached against it: allocations made
+	// since (backfills) only consume resources and cannot unblock the head
+	// or move its shadow time.
+	releaseEpoch int64
+	// headBlocked caches the identity and epoch of the last failed head
+	// attempt.
+	headBlocked      bool
+	headBlockedID    int64
+	headBlockedEpoch int64
+	// Cached reservation for the blocked head: the shadow time and the
+	// clone advanced to it. Backfilled jobs running past the shadow time
+	// are mirrored into the clone as they start, keeping it current.
+	resvValid  bool
+	resvID     int64
+	resvEpoch  int64
+	resvShadow float64
+	resvSnap   alloc.Allocator
+	resvOK     bool
+
+	acc         Accounting
+	counts      Counts
+	haveArrival bool
+}
+
+// New validates the config and returns a fresh engine at virtual time zero.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Alloc == nil {
+		return nil, fmt.Errorf("engine: nil allocator")
+	}
+	w := cfg.Window
+	if w == 0 {
+		w = DefaultWindow
+	}
+	return &Engine{
+		cfg:     cfg,
+		window:  w,
+		running: map[*runningJob]struct{}{},
+		jobs:    map[int64]*jobItem{},
+		total:   cfg.Alloc.Tree().Nodes(),
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now returns the engine's virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// TotalNodes returns the simulated cluster size.
+func (e *Engine) TotalNodes() int { return e.total }
+
+// UsedNodes returns the requested-size sum of running jobs.
+func (e *Engine) UsedNodes() int { return e.used }
+
+// PendingEvents returns the number of undelivered arrival/completion events.
+func (e *Engine) PendingEvents() int { return e.events.Len() }
+
+// NextEventTime returns the timestamp of the next pending event.
+func (e *Engine) NextEventTime() (float64, bool) {
+	if e.events.Len() == 0 {
+		return 0, false
+	}
+	return e.events.Peek().Time, true
+}
+
+// Idle reports whether the engine has no pending events, no queued jobs,
+// and no running jobs — i.e. a drained machine.
+func (e *Engine) Idle() bool {
+	return e.events.Len() == 0 && len(e.queue) == 0 && len(e.running) == 0
+}
+
+// Counts returns the lifetime job-outcome tallies.
+func (e *Engine) Counts() Counts { return e.counts }
+
+// Accounting returns the metric ledger accumulated so far. The slices are
+// owned by the engine; callers must not mutate them.
+func (e *Engine) Accounting() Accounting { return e.acc }
+
+// Submit registers a job. Arrivals in the past are clamped to the current
+// virtual time; the job enters the queue when the clock reaches its arrival
+// (Step/AdvanceTo). Job IDs must be unique for the engine's lifetime.
+func (e *Engine) Submit(j trace.Job) error {
+	if _, dup := e.jobs[j.ID]; dup {
+		return fmt.Errorf("engine: duplicate job id %d", j.ID)
+	}
+	if j.Arrival < e.now {
+		j.Arrival = e.now
+	}
+	it := &jobItem{j: j, eff: e.effRuntime(j), state: StateQueued}
+	e.jobs[j.ID] = it
+	if !e.haveArrival || j.Arrival < e.acc.FirstArrival {
+		e.acc.FirstArrival = j.Arrival
+		e.haveArrival = true
+	}
+	e.counts.Submitted++
+	e.events.Push(sim.Event{Time: j.Arrival, Prio: sim.PrioArrival, Payload: it})
+	return nil
+}
+
+// Status returns the current view of a submitted job.
+func (e *Engine) Status(id int64) (JobStatus, bool) {
+	it, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return it.status(), true
+}
+
+// Cancel withdraws a job. A queued job is removed from the queue; a running
+// job releases its nodes and links immediately (freed resources are offered
+// to the queue at the current time). Completed, rejected, and already-
+// cancelled jobs cannot be cancelled.
+func (e *Engine) Cancel(id int64) (JobStatus, error) {
+	it, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("engine: unknown job %d", id)
+	}
+	switch it.state {
+	case StateQueued:
+		for i, q := range e.queue {
+			if q == it {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		it.state = StateCancelled
+		it.end = e.now
+		e.counts.Cancelled++
+		// Removing the head can unblock its successors.
+		e.schedule(e.now)
+		e.observe(e.now)
+	case StateRunning:
+		rj := it.rj
+		rj.cancelled = true
+		e.releaseEpoch++
+		e.cfg.Alloc.Release(rj.pl)
+		delete(e.running, rj)
+		e.used -= it.j.Size
+		e.pushUtil(e.now)
+		it.state = StateCancelled
+		it.end = e.now
+		e.counts.Cancelled++
+		e.schedule(e.now)
+		e.observe(e.now)
+	default:
+		return it.status(), fmt.Errorf("engine: job %d already %s", id, it.state)
+	}
+	return it.status(), nil
+}
+
+// Step advances the clock to the next pending event timestamp, delivers
+// every event at that instant (completions before arrivals), and runs the
+// scheduler. It returns the new time and false when no events remain.
+func (e *Engine) Step() (float64, bool) {
+	if e.events.Len() == 0 {
+		return e.now, false
+	}
+	now := e.events.Peek().Time
+	for e.events.Len() > 0 && e.events.Peek().Time == now {
+		ev := e.events.Pop()
+		switch p := ev.Payload.(type) {
+		case *runningJob:
+			if p.cancelled {
+				continue
+			}
+			e.complete(p, now)
+		case *jobItem:
+			if p.state == StateCancelled {
+				continue
+			}
+			e.queue = append(e.queue, p)
+		}
+	}
+	e.now = now
+	e.schedule(now)
+	e.observe(now)
+	return now, true
+}
+
+// AdvanceTo steps through every event with timestamp at most t and then
+// moves the clock to t. It returns the number of steps taken.
+func (e *Engine) AdvanceTo(t float64) int {
+	steps := 0
+	for e.events.Len() > 0 && e.events.Peek().Time <= t {
+		e.Step()
+		steps++
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return steps
+}
+
+// Snapshot returns a consistent copy of the engine's observable state.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Now:           e.now,
+		TotalNodes:    e.total,
+		UsedNodes:     e.used,
+		FreeNodes:     e.cfg.Alloc.FreeNodes(),
+		QueueDepth:    len(e.queue),
+		RunningJobs:   len(e.running),
+		PendingEvents: e.events.Len(),
+		Counts:        e.counts,
+	}
+	s.Queue = make([]JobStatus, 0, len(e.queue))
+	for _, it := range e.queue {
+		s.Queue = append(s.Queue, it.status())
+	}
+	s.Running = make([]JobStatus, 0, len(e.running))
+	for rj := range e.running {
+		s.Running = append(s.Running, rj.it.status())
+	}
+	sort.Slice(s.Running, func(i, j int) bool {
+		if s.Running[i].Start != s.Running[j].Start {
+			return s.Running[i].Start < s.Running[j].Start
+		}
+		return s.Running[i].Job.ID < s.Running[j].Job.ID
+	})
+	return s
+}
+
+// effRuntime applies the scenario to a job's runtime.
+func (e *Engine) effRuntime(j trace.Job) float64 {
+	if !e.cfg.ApplySpeedups || e.cfg.Scenario == nil {
+		return j.Runtime
+	}
+	return scenario.IsolatedRuntime(e.cfg.Scenario, j)
+}
+
+// observe records the per-event utilization sample and steady-state cutoff.
+func (e *Engine) observe(now float64) {
+	e.acc.InstSamples = append(e.acc.InstSamples, float64(e.used)/float64(e.total))
+	if len(e.queue) > 0 {
+		e.acc.SteadyEnd = now
+	}
+}
+
+// complete finishes a running job.
+func (e *Engine) complete(rj *runningJob, now float64) {
+	e.releaseEpoch++
+	e.cfg.Alloc.Release(rj.pl)
+	delete(e.running, rj)
+	e.used -= rj.it.j.Size
+	e.pushUtil(now)
+	rj.it.state = StateCompleted
+	e.counts.Completed++
+	e.acc.Records = append(e.acc.Records, Record{
+		Job: rj.it.j, Runtime: rj.it.eff, Start: rj.start, End: rj.end,
+	})
+	if now > e.acc.LastEnd {
+		e.acc.LastEnd = now
+	}
+}
+
+// start launches a job whose placement has already been charged.
+func (e *Engine) start(it *jobItem, pl *topology.Placement, now float64) *runningJob {
+	rj := &runningJob{it: it, pl: pl, start: now, end: now + it.eff}
+	e.running[rj] = struct{}{}
+	e.used += it.j.Size
+	e.pushUtil(now)
+	it.state = StateRunning
+	it.start = rj.start
+	it.end = rj.end
+	it.rj = rj
+	e.counts.Started++
+	e.events.Push(sim.Event{Time: rj.end, Prio: sim.PrioCompletion, Payload: rj})
+	return rj
+}
+
+// allocate tries a live placement, accounting scheduling time.
+func (e *Engine) allocate(it *jobItem) (*topology.Placement, bool) {
+	var t0 time.Time
+	if e.cfg.MeasureAllocTime {
+		t0 = time.Now()
+	}
+	pl, ok := e.cfg.Alloc.Allocate(topology.JobID(it.j.ID), it.j.Size)
+	if e.cfg.MeasureAllocTime {
+		e.acc.AllocSeconds += time.Since(t0).Seconds()
+	}
+	e.acc.AllocCalls++
+	return pl, ok
+}
+
+// schedule starts queued jobs: FIFO first, then EASY backfill.
+func (e *Engine) schedule(now float64) {
+	for {
+		// FIFO: start head jobs while they fit. A head that failed is only
+		// retried after a release (allocations in between cannot help it).
+		for len(e.queue) > 0 {
+			head := e.queue[0]
+			if e.headBlocked && head.j.ID == e.headBlockedID && e.releaseEpoch == e.headBlockedEpoch {
+				break
+			}
+			pl, ok := e.allocate(head)
+			if !ok {
+				e.headBlocked = true
+				e.headBlockedID = head.j.ID
+				e.headBlockedEpoch = e.releaseEpoch
+				break
+			}
+			e.start(head, pl, now)
+			e.queue = e.queue[1:]
+		}
+		if len(e.queue) == 0 {
+			return
+		}
+		head := e.queue[0]
+
+		// Reservation for the blocked head (cached until the next release;
+		// the cached clone is kept current by mirroring long backfills).
+		var shadow float64
+		var snap alloc.Allocator
+		var ok bool
+		if e.resvValid && e.resvID == head.j.ID && e.resvEpoch == e.releaseEpoch {
+			shadow, snap, ok = e.resvShadow, e.resvSnap, e.resvOK
+		} else {
+			shadow, snap, ok = e.reservation(head)
+			e.resvValid = true
+			e.resvID, e.resvEpoch = head.j.ID, e.releaseEpoch
+			e.resvShadow, e.resvSnap, e.resvOK = shadow, snap, ok
+		}
+		if !ok {
+			// The head cannot run even on a drained machine: reject it and
+			// reschedule the rest.
+			head.state = StateRejected
+			head.end = now
+			e.counts.Rejected++
+			e.acc.Rejected = append(e.acc.Rejected, head.j)
+			e.queue = e.queue[1:]
+			continue
+		}
+		if e.cfg.DisableBackfill {
+			return
+		}
+
+		// EASY backfill within the lookahead window.
+		examined := 0
+		i := 1
+		for i < len(e.queue) && examined < e.window {
+			cand := e.queue[i]
+			examined++
+			pl, ok := e.allocate(cand)
+			if !ok {
+				i++
+				continue
+			}
+			if now+cand.eff <= shadow+timeEps {
+				// Finishes before the head's reservation: always safe.
+				e.start(cand, pl, now)
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				continue
+			}
+			if e.cfg.Conservative {
+				e.cfg.Alloc.Release(pl)
+				i++
+				continue
+			}
+			// Runs past the shadow time: admit only if the head would
+			// still fit at the shadow time with this job in place.
+			snap.Mirror(pl)
+			hpl, headFits := snap.Allocate(topology.JobID(head.j.ID), head.j.Size)
+			if headFits {
+				snap.Release(hpl)
+				e.start(cand, pl, now)
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				continue
+			}
+			snap.Release(pl)
+			e.cfg.Alloc.Release(pl)
+			i++
+		}
+		return
+	}
+}
+
+// reservation computes the head job's shadow time: the earliest completion
+// time at which the head fits, found by replaying running jobs' completions
+// on a cloned allocator. It returns the clone advanced to the shadow time
+// (head not placed) for backfill displacement checks.
+func (e *Engine) reservation(head *jobItem) (float64, alloc.Allocator, bool) {
+	snap := e.cfg.Alloc.Clone()
+	byEnd := make([]*runningJob, 0, len(e.running))
+	for rj := range e.running {
+		byEnd = append(byEnd, rj)
+	}
+	sort.Slice(byEnd, func(i, j int) bool {
+		if byEnd[i].end != byEnd[j].end {
+			return byEnd[i].end < byEnd[j].end
+		}
+		return byEnd[i].it.j.ID < byEnd[j].it.j.ID
+	})
+	i := 0
+	for i < len(byEnd) {
+		t := byEnd[i].end
+		for i < len(byEnd) && byEnd[i].end == t {
+			snap.Release(byEnd[i].pl)
+			i++
+		}
+		// Cheap necessary condition before the real search.
+		if snap.FreeNodes() < head.j.Size {
+			continue
+		}
+		if hpl, ok := snap.Allocate(topology.JobID(head.j.ID), head.j.Size); ok {
+			snap.Release(hpl)
+			return t, snap, true
+		}
+	}
+	return 0, nil, false
+}
+
+// pushUtil appends a used-node step (coalescing same-time updates).
+func (e *Engine) pushUtil(t float64) {
+	us := &e.acc.UtilSeries
+	if n := len(*us); n > 0 && (*us)[n-1].T == t {
+		(*us)[n-1].Used = e.used
+		return
+	}
+	*us = append(*us, UtilPoint{T: t, Used: e.used})
+}

@@ -21,17 +21,23 @@ func Utilization(r *sched.Result) float64 {
 	if end <= start {
 		end = r.LastEnd
 	}
-	if end <= start || len(r.UtilSeries) == 0 {
+	return SeriesUtilization(r.UtilSeries, start, end, r.SystemNodes)
+}
+
+// SeriesUtilization integrates a used-node step function over [start, end]
+// and normalizes by systemNodes. The final point's value extends to end,
+// which lets the online daemon evaluate utilization-to-now on a series that
+// is still open. It returns 0 on an empty series or a degenerate interval.
+func SeriesUtilization(series []sched.UtilPoint, start, end float64, systemNodes int) float64 {
+	if end <= start || len(series) == 0 || systemNodes <= 0 {
 		return 0
 	}
 	integral := 0.0
-	for i, p := range r.UtilSeries {
+	for i, p := range series {
 		t0 := p.T
-		var t1 float64
-		if i+1 < len(r.UtilSeries) {
-			t1 = r.UtilSeries[i+1].T
-		} else {
-			t1 = r.LastEnd
+		t1 := end
+		if i+1 < len(series) {
+			t1 = series[i+1].T
 		}
 		if t0 < start {
 			t0 = start
@@ -43,7 +49,7 @@ func Utilization(r *sched.Result) float64 {
 			integral += float64(p.Used) * (t1 - t0)
 		}
 	}
-	return integral / (float64(r.SystemNodes) * (end - start))
+	return integral / (float64(systemNodes) * (end - start))
 }
 
 // Makespan is the time from the first arrival to the last completion

@@ -1,34 +1,28 @@
-// Package sched implements the job scheduler driving the simulation: FIFO
-// service order with EASY backfilling (Section 5.3), pluggable over any
+// Package sched implements the batch job-scheduling simulator: FIFO service
+// order with EASY backfilling (Section 5.3), pluggable over any
 // alloc.Allocator and any performance scenario.
 //
-// EASY backfilling gives only the job at the head of the queue a
-// reservation. When the head does not fit, its shadow time — the earliest
-// time it could start given the predicted completions of running jobs — is
-// computed by replaying completions on a cloned allocator. Queued jobs
-// within the lookahead window may then start immediately if they fit now and
-// either finish by the shadow time or provably do not displace the head's
-// reservation (checked on the clone). Predicted runtimes equal actual
-// runtimes, the same information the paper's simulator used.
+// The scheduling core itself — FIFO head service, the EASY reservation with
+// its shadow-time computation, and the backfill admission checks — lives in
+// internal/engine, an incremental event-driven engine that also powers the
+// online scheduling daemon (internal/server). Scheduler.Run is a thin batch
+// driver over that engine: it submits the whole trace, steps the engine to
+// exhaustion, and packages the engine's accounting into a Result. Results
+// are bit-for-bit identical to the original monolithic run loop.
 package sched
 
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/engine"
 	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
 // DefaultWindow is the paper's backfill lookahead (Section 5.4.3).
-const DefaultWindow = 50
-
-// timeEps absorbs floating-point slack in shadow-time comparisons.
-const timeEps = 1e-9
+const DefaultWindow = engine.DefaultWindow
 
 // Scheduler runs one trace against one allocator under one scenario.
 type Scheduler struct {
@@ -67,24 +61,10 @@ func New(a alloc.Allocator, sc scenario.Scenario) *Scheduler {
 }
 
 // Record is the outcome of one job.
-type Record struct {
-	Job trace.Job
-	// Runtime is the effective runtime used (after any speed-up).
-	Runtime    float64
-	Start, End float64
-}
+type Record = engine.Record
 
-// Turnaround is the time from arrival to completion.
-func (r Record) Turnaround() float64 { return r.End - r.Job.Arrival }
-
-// UtilPoint is one step of the used-node time series: from T onward (until
-// the next point), Used nodes were doing work. "Used" counts requested job
-// sizes, never rounded-up allocations, matching the paper's utilization
-// definition.
-type UtilPoint struct {
-	T    float64
-	Used int
-}
+// UtilPoint is one step of the used-node time series; see engine.UtilPoint.
+type UtilPoint = engine.UtilPoint
 
 // Result aggregates one simulation run.
 type Result struct {
@@ -111,18 +91,23 @@ type Result struct {
 	AllocCalls   int
 }
 
-// jobItem is a queued job with its effective (possibly sped-up) runtime.
-type jobItem struct {
-	j   trace.Job
-	eff float64
-}
-
-// runningJob is a started job awaiting completion.
-type runningJob struct {
-	it    *jobItem
-	pl    *topology.Placement
-	start float64
-	end   float64
+// Engine returns a fresh incremental engine configured exactly as this
+// scheduler; Run is equivalent to submitting the whole trace to it and
+// stepping to exhaustion.
+func (s *Scheduler) Engine() (*engine.Engine, error) {
+	w := s.Window
+	if w == 0 {
+		w = DefaultWindow
+	}
+	return engine.New(engine.Config{
+		Alloc:            s.Alloc,
+		Scenario:         s.Scenario,
+		Window:           w,
+		DisableBackfill:  s.DisableBackfill,
+		Conservative:     s.Conservative,
+		ApplySpeedups:    s.ApplySpeedups,
+		MeasureAllocTime: s.MeasureAllocTime,
+	})
 }
 
 // Run simulates the whole trace and returns the result. The trace is not
@@ -131,10 +116,9 @@ func (s *Scheduler) Run(tr *trace.Trace) (*Result, error) {
 	if s.Window == 0 {
 		s.Window = DefaultWindow
 	}
-	res := &Result{
-		Scheme:      s.Alloc.Name(),
-		Trace:       tr.Name,
-		SystemNodes: s.Alloc.Tree().Nodes(),
+	eng, err := s.Engine()
+	if err != nil {
+		return nil, err
 	}
 	jobs := append([]trace.Job(nil), tr.Jobs...)
 	sort.SliceStable(jobs, func(i, j int) bool {
@@ -143,257 +127,40 @@ func (s *Scheduler) Run(tr *trace.Trace) (*Result, error) {
 		}
 		return jobs[i].ID < jobs[j].ID
 	})
-	if len(jobs) == 0 {
-		return res, nil
-	}
-	res.FirstArrival = jobs[0].Arrival
-
-	var events sim.Queue
-	for i := range jobs {
-		it := &jobItem{j: jobs[i], eff: s.effRuntime(jobs[i])}
-		events.Push(sim.Event{Time: jobs[i].Arrival, Prio: sim.PrioArrival, Payload: it})
-	}
-
-	st := &runState{
-		s:     s,
-		res:   res,
-		total: res.SystemNodes,
-	}
-
-	for events.Len() > 0 {
-		now := events.Peek().Time
-		// Batch all events at this timestamp (completions first by Prio).
-		for events.Len() > 0 && events.Peek().Time == now {
-			e := events.Pop()
-			switch p := e.Payload.(type) {
-			case *runningJob:
-				st.complete(p, now)
-			case *jobItem:
-				st.queue = append(st.queue, p)
-			default:
-				return nil, fmt.Errorf("sched: unknown event payload %T", e.Payload)
-			}
-		}
-		if err := st.schedule(now, &events); err != nil {
+	for _, j := range jobs {
+		if err := eng.Submit(j); err != nil {
 			return nil, err
 		}
-		res.InstSamples = append(res.InstSamples, float64(st.used)/float64(st.total))
-		if len(st.queue) > 0 {
-			res.SteadyEnd = now
-		}
 	}
-	if st.used != 0 || len(st.running) != 0 {
-		return nil, fmt.Errorf("sched: %d nodes and %d jobs still running after drain", st.used, len(st.running))
-	}
-	return res, nil
-}
-
-// effRuntime applies the scenario to a job's runtime.
-func (s *Scheduler) effRuntime(j trace.Job) float64 {
-	if !s.ApplySpeedups || s.Scenario == nil {
-		return j.Runtime
-	}
-	return scenario.IsolatedRuntime(s.Scenario, j)
-}
-
-// runState carries the mutable simulation state through one Run.
-type runState struct {
-	s       *Scheduler
-	res     *Result
-	queue   []*jobItem
-	running map[*runningJob]struct{}
-	used    int
-	total   int
-
-	// releaseEpoch counts completions. A blocked head job can only become
-	// placeable after a release, so FIFO retries and reservations are
-	// cached against it: allocations made since (backfills) only consume
-	// resources and cannot unblock the head or move its shadow time.
-	releaseEpoch int64
-	// headBlocked caches the identity and epoch of the last failed head
-	// attempt.
-	headBlockedID    int64
-	headBlockedEpoch int64
-	// Cached reservation for the blocked head: the shadow time and the
-	// clone advanced to it. Backfilled jobs running past the shadow time
-	// are mirrored into the clone as they start, keeping it current.
-	resvID     int64
-	resvEpoch  int64
-	resvShadow float64
-	resvSnap   alloc.Allocator
-	resvOK     bool
-}
-
-// complete finishes a running job.
-func (st *runState) complete(rj *runningJob, now float64) {
-	st.releaseEpoch++
-	st.s.Alloc.Release(rj.pl)
-	delete(st.running, rj)
-	st.used -= rj.it.j.Size
-	st.pushUtil(now)
-	st.res.Records = append(st.res.Records, Record{
-		Job: rj.it.j, Runtime: rj.it.eff, Start: rj.start, End: rj.end,
-	})
-	if now > st.res.LastEnd {
-		st.res.LastEnd = now
-	}
-}
-
-// start launches a job whose placement has already been charged.
-func (st *runState) start(it *jobItem, pl *topology.Placement, now float64, events *sim.Queue) *runningJob {
-	rj := &runningJob{it: it, pl: pl, start: now, end: now + it.eff}
-	if st.running == nil {
-		st.running = map[*runningJob]struct{}{}
-	}
-	st.running[rj] = struct{}{}
-	st.used += it.j.Size
-	st.pushUtil(now)
-	events.Push(sim.Event{Time: rj.end, Prio: sim.PrioCompletion, Payload: rj})
-	return rj
-}
-
-// allocate tries a live placement, accounting scheduling time.
-func (st *runState) allocate(it *jobItem) (*topology.Placement, bool) {
-	var t0 time.Time
-	if st.s.MeasureAllocTime {
-		t0 = time.Now()
-	}
-	pl, ok := st.s.Alloc.Allocate(topology.JobID(it.j.ID), it.j.Size)
-	if st.s.MeasureAllocTime {
-		st.res.AllocSeconds += time.Since(t0).Seconds()
-	}
-	st.res.AllocCalls++
-	return pl, ok
-}
-
-// schedule starts queued jobs: FIFO first, then EASY backfill.
-func (st *runState) schedule(now float64, events *sim.Queue) error {
 	for {
-		// FIFO: start head jobs while they fit. A head that failed is only
-		// retried after a release (allocations in between cannot help it).
-		for len(st.queue) > 0 {
-			head := st.queue[0]
-			if head.j.ID == st.headBlockedID && st.releaseEpoch == st.headBlockedEpoch {
-				break
-			}
-			pl, ok := st.allocate(head)
-			if !ok {
-				st.headBlockedID = head.j.ID
-				st.headBlockedEpoch = st.releaseEpoch
-				break
-			}
-			st.start(head, pl, now, events)
-			st.queue = st.queue[1:]
+		if _, ok := eng.Step(); !ok {
+			break
 		}
-		if len(st.queue) == 0 {
-			return nil
-		}
-		head := st.queue[0]
-
-		// Reservation for the blocked head (cached until the next release;
-		// the cached clone is kept current by mirroring long backfills).
-		var shadow float64
-		var snap alloc.Allocator
-		var ok bool
-		if st.resvID == head.j.ID && st.resvEpoch == st.releaseEpoch {
-			shadow, snap, ok = st.resvShadow, st.resvSnap, st.resvOK
-		} else {
-			shadow, snap, ok = st.reservation(now, head)
-			st.resvID, st.resvEpoch = head.j.ID, st.releaseEpoch
-			st.resvShadow, st.resvSnap, st.resvOK = shadow, snap, ok
-		}
-		if !ok {
-			// The head cannot run even on a drained machine: reject it and
-			// reschedule the rest.
-			st.res.Rejected = append(st.res.Rejected, head.j)
-			st.queue = st.queue[1:]
-			continue
-		}
-		if st.s.DisableBackfill {
-			return nil
-		}
-
-		// EASY backfill within the lookahead window.
-		examined := 0
-		i := 1
-		for i < len(st.queue) && examined < st.s.Window {
-			cand := st.queue[i]
-			examined++
-			pl, ok := st.allocate(cand)
-			if !ok {
-				i++
-				continue
-			}
-			if now+cand.eff <= shadow+timeEps {
-				// Finishes before the head's reservation: always safe.
-				st.start(cand, pl, now, events)
-				st.queue = append(st.queue[:i], st.queue[i+1:]...)
-				continue
-			}
-			if st.s.Conservative {
-				st.s.Alloc.Release(pl)
-				i++
-				continue
-			}
-			// Runs past the shadow time: admit only if the head would
-			// still fit at the shadow time with this job in place.
-			snap.Mirror(pl)
-			hpl, headFits := snap.Allocate(topology.JobID(head.j.ID), head.j.Size)
-			if headFits {
-				snap.Release(hpl)
-				st.start(cand, pl, now, events)
-				st.queue = append(st.queue[:i], st.queue[i+1:]...)
-				continue
-			}
-			snap.Release(pl)
-			st.s.Alloc.Release(pl)
-			i++
-		}
-		return nil
 	}
+	return ResultFrom(eng, tr.Name)
 }
 
-// reservation computes the head job's shadow time: the earliest completion
-// time at which the head fits, found by replaying running jobs' completions
-// on a cloned allocator. It returns the clone advanced to the shadow time
-// (head not placed) for backfill displacement checks.
-func (st *runState) reservation(now float64, head *jobItem) (float64, alloc.Allocator, bool) {
-	snap := st.s.Alloc.Clone()
-	byEnd := make([]*runningJob, 0, len(st.running))
-	for rj := range st.running {
-		byEnd = append(byEnd, rj)
+// ResultFrom packages a drained engine's accounting as a batch Result. It
+// errors if the engine still holds queued or running jobs (Run's drain
+// invariant).
+func ResultFrom(eng *engine.Engine, traceName string) (*Result, error) {
+	snap := eng.Snapshot()
+	if snap.UsedNodes != 0 || snap.RunningJobs != 0 {
+		return nil, fmt.Errorf("sched: %d nodes and %d jobs still running after drain", snap.UsedNodes, snap.RunningJobs)
 	}
-	sort.Slice(byEnd, func(i, j int) bool {
-		if byEnd[i].end != byEnd[j].end {
-			return byEnd[i].end < byEnd[j].end
-		}
-		return byEnd[i].it.j.ID < byEnd[j].it.j.ID
-	})
-	i := 0
-	for i < len(byEnd) {
-		t := byEnd[i].end
-		for i < len(byEnd) && byEnd[i].end == t {
-			snap.Release(byEnd[i].pl)
-			i++
-		}
-		// Cheap necessary condition before the real search.
-		if snap.FreeNodes() < head.j.Size {
-			continue
-		}
-		if hpl, ok := snap.Allocate(topology.JobID(head.j.ID), head.j.Size); ok {
-			snap.Release(hpl)
-			return t, snap, true
-		}
-	}
-	return 0, nil, false
-}
-
-// pushUtil appends a used-node step (coalescing same-time updates).
-func (st *runState) pushUtil(t float64) {
-	us := &st.res.UtilSeries
-	if n := len(*us); n > 0 && (*us)[n-1].T == t {
-		(*us)[n-1].Used = st.used
-		return
-	}
-	*us = append(*us, UtilPoint{T: t, Used: st.used})
+	acc := eng.Accounting()
+	return &Result{
+		Scheme:       eng.Config().Alloc.Name(),
+		Trace:        traceName,
+		SystemNodes:  snap.TotalNodes,
+		Records:      acc.Records,
+		Rejected:     acc.Rejected,
+		UtilSeries:   acc.UtilSeries,
+		InstSamples:  acc.InstSamples,
+		FirstArrival: acc.FirstArrival,
+		LastEnd:      acc.LastEnd,
+		SteadyEnd:    acc.SteadyEnd,
+		AllocSeconds: acc.AllocSeconds,
+		AllocCalls:   acc.AllocCalls,
+	}, nil
 }

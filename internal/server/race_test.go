@@ -1,0 +1,139 @@
+package server
+
+// The concurrency test: many goroutines submit, cancel, and query against a
+// small tree through the public HTTP surface while the virtual-clock loop
+// fast-forwards completions underneath them. Run with -race (CI does); the
+// assertions check that no job is lost and node accounting is conserved.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestConcurrentSubmitCancelQuery(t *testing.T) {
+	s, err := New(Config{
+		Alloc:        core.NewAllocator(topology.MustNew(4)), // 16 nodes
+		VirtualClock: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		s.Close()
+	}()
+
+	const (
+		goroutines = 8
+		jobsEach   = 40
+	)
+	var submitted, cancelReqs atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			client := hs.Client()
+			for i := 0; i < jobsEach; i++ {
+				size := 1 + rng.Intn(12)
+				body := fmt.Sprintf(`{"size":%d,"runtime":%g}`, size, 0.5+rng.Float64()*5)
+				resp, err := client.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var j jobJSON
+				dec := json.NewDecoder(resp.Body)
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit status %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				if err := dec.Decode(&j); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				submitted.Add(1)
+
+				switch i % 4 {
+				case 1:
+					// Query our job; it must exist in some lifecycle state.
+					r2, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", hs.URL, j.ID))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if r2.StatusCode != http.StatusOK {
+						t.Errorf("lost job %d: status %d", j.ID, r2.StatusCode)
+					}
+					r2.Body.Close()
+				case 2:
+					// Try to cancel; 200 (still alive) and 409 (already
+					// done) are both legal under the race.
+					req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", hs.URL, j.ID), nil)
+					r2, err := client.Do(req)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if r2.StatusCode != http.StatusOK && r2.StatusCode != http.StatusConflict {
+						t.Errorf("cancel job %d: status %d", j.ID, r2.StatusCode)
+					}
+					r2.Body.Close()
+					cancelReqs.Add(1)
+				case 3:
+					// Exercise the read-only surfaces concurrently.
+					for _, p := range []string{"/v1/queue", "/v1/cluster", "/metrics"} {
+						r2, err := client.Get(hs.URL + p)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						r2.Body.Close()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	c := waitDrained(t, hs.URL)
+	want := submitted.Load()
+	if c.Counts["submitted"] != want {
+		t.Fatalf("submitted count %d, want %d", c.Counts["submitted"], want)
+	}
+	if got := c.Counts["completed"] + c.Counts["rejected"] + c.Counts["cancelled"]; got != want {
+		t.Fatalf("lost jobs: completed+rejected+cancelled = %d, submitted = %d (%+v)", got, want, c.Counts)
+	}
+	if c.Counts["rejected"] != 0 {
+		t.Fatalf("no job exceeds the machine, yet %d rejected", c.Counts["rejected"])
+	}
+	if c.UsedNodes != 0 || c.FreeNodes != c.Nodes {
+		t.Fatalf("node accounting not conserved after drain: %+v", c)
+	}
+
+	// Every job is still addressable and in a terminal state.
+	for id := int64(1); id <= want; id++ {
+		var j jobJSON
+		if code := getJSON(t, fmt.Sprintf("%s/v1/jobs/%d", hs.URL, id), &j); code != http.StatusOK {
+			t.Fatalf("job %d unaddressable: %d", id, code)
+		}
+		if j.State != "completed" && j.State != "cancelled" {
+			t.Fatalf("job %d in non-terminal state %q after drain", id, j.State)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+// Package server wraps the incremental scheduling engine (internal/engine)
+// in a long-running HTTP service: the missing online half of the paper's
+// scheduler, which installs allocations on a live cluster rather than
+// replaying a recorded trace.
+//
+// # Concurrency model
+//
+// The engine is single-threaded and is never locked. One goroutine — the
+// engine goroutine, started by New — owns it exclusively; HTTP handlers
+// submit closures over an unbuffered channel (do) and wait for them to run.
+// This single-writer discipline serializes every Submit/Cancel/Snapshot
+// without a mutex on allocation state and gives each request a consistent
+// view. The engine goroutine also drives time:
+//
+//   - virtual clock (Config.VirtualClock): whenever no request is waiting,
+//     the goroutine steps the engine to its next event, fast-forwarding
+//     through arrivals and completions as fast as the allocator can place
+//     them. Submitting a recorded trace replays it at full speed.
+//   - wall clock: the engine's virtual time tracks real seconds since the
+//     server started; a timer wakes the goroutine for the next completion,
+//     and every request first advances the engine to the current wall time.
+//
+// # API
+//
+//	POST   /v1/jobs      submit a job            {"size":64,"runtime":3600}
+//	GET    /v1/jobs/{id} job status
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/queue     waiting jobs in FIFO order
+//	GET    /v1/cluster   topology, occupancy, utilization, counters
+//	GET    /metrics      Prometheus text format (version 0.0.4)
+//	GET    /healthz      liveness probe
+//	/debug/pprof/        runtime profiling
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// ErrClosed is returned by requests that arrive after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Config configures a daemon instance.
+type Config struct {
+	// Alloc is the placement policy the engine schedules with; required.
+	// Build one with jigsaw.NewAllocator (cmd/jigsawd does).
+	Alloc alloc.Allocator
+	// Scenario assigns isolated-execution speed-ups when ApplySpeedups is
+	// set; nil means scenario "None".
+	Scenario      scenario.Scenario
+	ApplySpeedups bool
+	// Window is the EASY backfill lookahead; 0 means the paper's default.
+	Window int
+	// DisableBackfill reverts to pure FIFO service.
+	DisableBackfill bool
+	// VirtualClock fast-forwards through events instead of tracking wall
+	// time; use it to replay traces.
+	VirtualClock bool
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+	// NowFunc supplies wall-clock seconds for the wall mode; nil uses
+	// monotonic seconds since New. Exposed for tests.
+	NowFunc func() float64
+}
+
+// Server is one daemon instance: an engine, its owning goroutine, and the
+// HTTP surface. Create with New, serve with Serve/ListenAndServe or by
+// mounting Handler, and stop with Close.
+type Server struct {
+	cfg  Config
+	eng  *engine.Engine
+	log  *slog.Logger
+	reqs chan func()
+	quit chan struct{}
+	done chan struct{}
+
+	// nextID assigns job IDs; only the engine goroutine touches it.
+	nextID int64
+
+	httpStats *httpStats
+	latency   *latencyHist
+}
+
+// New builds the engine and starts its owning goroutine.
+func New(cfg Config) (*Server, error) {
+	sc := cfg.Scenario
+	if sc == nil {
+		sc = scenario.None{}
+	}
+	eng, err := engine.New(engine.Config{
+		Alloc:            cfg.Alloc,
+		Scenario:         sc,
+		Window:           cfg.Window,
+		DisableBackfill:  cfg.DisableBackfill,
+		ApplySpeedups:    cfg.ApplySpeedups,
+		MeasureAllocTime: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.NowFunc == nil {
+		start := time.Now()
+		cfg.NowFunc = func() float64 { return time.Since(start).Seconds() }
+	}
+	s := &Server{
+		cfg:       cfg,
+		eng:       eng,
+		log:       logger,
+		reqs:      make(chan func()),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		nextID:    1,
+		httpStats: newHTTPStats(),
+		latency:   newLatencyHist(),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Close stops the engine goroutine. Safe to call more than once; requests
+// after Close fail with ErrClosed.
+func (s *Server) Close() {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	<-s.done
+}
+
+// loop is the engine goroutine: the only code that touches s.eng.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		if s.cfg.VirtualClock {
+			// Requests take priority; otherwise fast-forward one event.
+			select {
+			case fn := <-s.reqs:
+				fn()
+				continue
+			case <-s.quit:
+				return
+			default:
+			}
+			if _, ok := s.eng.Step(); ok {
+				continue
+			}
+			select {
+			case fn := <-s.reqs:
+				fn()
+			case <-s.quit:
+				return
+			}
+			continue
+		}
+
+		// Wall mode: chase the real clock, waking for the next completion.
+		s.eng.AdvanceTo(s.cfg.NowFunc())
+		var wake <-chan time.Time
+		var timer *time.Timer
+		if t, ok := s.eng.NextEventTime(); ok {
+			d := time.Duration((t - s.cfg.NowFunc()) * float64(time.Second))
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			wake = timer.C
+		}
+		select {
+		case fn := <-s.reqs:
+			s.eng.AdvanceTo(s.cfg.NowFunc())
+			fn()
+		case <-wake:
+		case <-s.quit:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// do runs fn on the engine goroutine and waits for it to finish.
+func (s *Server) do(fn func(e *engine.Engine)) error {
+	ran := make(chan struct{})
+	select {
+	case s.reqs <- func() { fn(s.eng); close(ran) }:
+		<-ran
+		return nil
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Handler returns the daemon's HTTP surface with request logging and
+// per-route metrics attached.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.instrument("POST /v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("GET /v1/jobs/{id}", s.handleGetJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("DELETE /v1/jobs/{id}", s.handleCancel))
+	mux.HandleFunc("GET /v1/queue", s.instrument("GET /v1/queue", s.handleQueue))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("GET /v1/cluster", s.handleCluster))
+	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve accepts connections until ctx is cancelled, then shuts down
+// gracefully: in-flight requests drain (up to 10s) before the engine stops.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := hs.Shutdown(shCtx)
+		s.Close()
+		return err
+	case err := <-errc:
+		s.Close()
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	s.log.Info("listening", "addr", ln.Addr().String(), "policy", s.cfg.Alloc.Name(),
+		"nodes", s.cfg.Alloc.Tree().Nodes(), "clock", s.clockName())
+	return s.Serve(ctx, ln)
+}
+
+func (s *Server) clockName() string {
+	if s.cfg.VirtualClock {
+		return "virtual"
+	}
+	return "wall"
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with structured logging and request counting.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.httpStats.Inc(pattern, sw.code)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"duration_ms", float64(time.Since(t0).Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// jobJSON is the wire form of a job's status. Start and End are engine
+// (virtual) times and are zero until the job starts; for running jobs End
+// is the predicted completion.
+type jobJSON struct {
+	ID         int64   `json:"id"`
+	Size       int     `json:"size"`
+	Runtime    float64 `json:"runtime"`
+	EffRuntime float64 `json:"eff_runtime"`
+	Arrival    float64 `json:"arrival"`
+	State      string  `json:"state"`
+	Start      float64 `json:"start"`
+	End        float64 `json:"end"`
+}
+
+func toJobJSON(st engine.JobStatus) jobJSON {
+	return jobJSON{
+		ID:         st.Job.ID,
+		Size:       st.Job.Size,
+		Runtime:    st.Job.Runtime,
+		EffRuntime: st.Runtime,
+		Arrival:    st.Job.Arrival,
+		State:      st.State.String(),
+		Start:      st.Start,
+		End:        st.End,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitRequest is the POST /v1/jobs body. ID 0 auto-assigns; Arrival is a
+// virtual-clock timestamp honored only in virtual mode (wall mode schedules
+// at the current time).
+type submitRequest struct {
+	ID      int64   `json:"id"`
+	Size    int     `json:"size"`
+	Runtime float64 `json:"runtime"`
+	Arrival float64 `json:"arrival"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return
+	}
+	if req.Size < 1 {
+		writeError(w, http.StatusBadRequest, "size must be at least 1")
+		return
+	}
+	if total := s.cfg.Alloc.Tree().Nodes(); req.Size > total {
+		writeError(w, http.StatusBadRequest, "size %d exceeds cluster size %d", req.Size, total)
+		return
+	}
+	if req.Runtime <= 0 {
+		writeError(w, http.StatusBadRequest, "runtime must be positive")
+		return
+	}
+	if req.ID < 0 {
+		writeError(w, http.StatusBadRequest, "id must be non-negative")
+		return
+	}
+	if !s.cfg.VirtualClock {
+		req.Arrival = 0 // clamped to the engine's current wall time
+	}
+
+	var st engine.JobStatus
+	var submitErr error
+	t0 := time.Now()
+	err := s.do(func(e *engine.Engine) {
+		if req.ID == 0 {
+			req.ID = s.nextID
+		}
+		submitErr = e.Submit(trace.Job{
+			ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime,
+		})
+		if submitErr != nil {
+			return
+		}
+		if req.ID >= s.nextID {
+			s.nextID = req.ID + 1
+		}
+		// Deliver every event due now so the response reflects the
+		// scheduling decision (running vs queued).
+		e.AdvanceTo(e.Now())
+		st, _ = e.Status(req.ID)
+	})
+	s.latency.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if submitErr != nil {
+		writeError(w, http.StatusConflict, "%v", submitErr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, toJobJSON(st))
+}
+
+func jobID(r *http.Request) (int64, error) {
+	return strconv.ParseInt(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job id")
+		return
+	}
+	var st engine.JobStatus
+	var ok bool
+	if err := s.do(func(e *engine.Engine) { st, ok = e.Status(id) }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(st))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job id")
+		return
+	}
+	var st engine.JobStatus
+	var known bool
+	var cancelErr error
+	t0 := time.Now()
+	doErr := s.do(func(e *engine.Engine) {
+		if _, known = e.Status(id); !known {
+			return
+		}
+		st, cancelErr = e.Cancel(id)
+	})
+	s.latency.Observe(time.Since(t0).Seconds())
+	if doErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", doErr)
+		return
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown job %d", id)
+		return
+	}
+	if cancelErr != nil {
+		writeError(w, http.StatusConflict, "%v", cancelErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(st))
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	var snap engine.Snapshot
+	if err := s.do(func(e *engine.Engine) { snap = e.Snapshot() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	jobs := make([]jobJSON, 0, len(snap.Queue))
+	for _, st := range snap.Queue {
+		jobs = append(jobs, toJobJSON(st))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"now":   snap.Now,
+		"depth": snap.QueueDepth,
+		"jobs":  jobs,
+	})
+}
+
+// obs is the consistent engine observation /v1/cluster and /metrics share.
+type obs struct {
+	snap    engine.Snapshot
+	utilNow float64 // utilization from first arrival to the current clock
+	utilSS  float64 // steady-state utilization (drain excluded)
+}
+
+func (s *Server) observe() (obs, error) {
+	var o obs
+	err := s.do(func(e *engine.Engine) {
+		o.snap = e.Snapshot()
+		acc := e.Accounting()
+		o.utilNow = metrics.SeriesUtilization(acc.UtilSeries, acc.FirstArrival, o.snap.Now, o.snap.TotalNodes)
+		end := acc.SteadyEnd
+		if end <= acc.FirstArrival {
+			end = acc.LastEnd
+		}
+		o.utilSS = metrics.SeriesUtilization(acc.UtilSeries, acc.FirstArrival, end, o.snap.TotalNodes)
+	})
+	return o, err
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	o, err := s.observe()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	tree := s.cfg.Alloc.Tree()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policy":       s.cfg.Alloc.Name(),
+		"clock":        s.clockName(),
+		"radix":        tree.Radix,
+		"nodes":        o.snap.TotalNodes,
+		"used_nodes":   o.snap.UsedNodes,
+		"free_nodes":   o.snap.FreeNodes,
+		"queue_depth":  o.snap.QueueDepth,
+		"running_jobs": o.snap.RunningJobs,
+		"now":          o.snap.Now,
+		"counts": map[string]int64{
+			"submitted": o.snap.Counts.Submitted,
+			"started":   o.snap.Counts.Started,
+			"completed": o.snap.Counts.Completed,
+			"rejected":  o.snap.Counts.Rejected,
+			"cancelled": o.snap.Counts.Cancelled,
+		},
+		"utilization": map[string]float64{
+			"instant": float64(o.snap.UsedNodes) / float64(o.snap.TotalNodes),
+			"to_now":  o.utilNow,
+			"steady":  o.utilSS,
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	o, err := s.observe()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	mw := newMetricsWriter()
+	c := o.snap.Counts
+	mw.counter("jigsawd_jobs_submitted_total", "Jobs accepted by the engine.", c.Submitted)
+	mw.counter("jigsawd_jobs_started_total", "Jobs that received an allocation and started.", c.Started)
+	mw.counter("jigsawd_jobs_completed_total", "Jobs that ran to completion.", c.Completed)
+	mw.counter("jigsawd_jobs_rejected_total", "Jobs that could not fit even on a drained machine.", c.Rejected)
+	mw.counter("jigsawd_jobs_cancelled_total", "Jobs cancelled while queued or running.", c.Cancelled)
+	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", o.snap.QueueDepth)
+	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", o.snap.RunningJobs)
+	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", o.snap.TotalNodes)
+	mw.gaugeInt("jigsawd_nodes_used", "Nodes counted at requested job sizes (paper's utilization definition).", o.snap.UsedNodes)
+	mw.gaugeInt("jigsawd_nodes_free", "Nodes the allocator reports free (rounded allocations excluded).", o.snap.FreeNodes)
+	mw.gauge("jigsawd_utilization_instant", "used/total at the current instant.", float64(o.snap.UsedNodes)/float64(o.snap.TotalNodes))
+	mw.gauge("jigsawd_utilization_to_now", "Average utilization from first arrival to the current clock.", o.utilNow)
+	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", o.utilSS)
+	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", o.snap.Now)
+	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", o.snap.PendingEvents)
+	s.latency.write(mw, "jigsawd_schedule_latency_seconds")
+	s.httpStats.write(mw, "jigsawd_http_requests_total")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, mw.String())
+}

@@ -75,6 +75,22 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Quantiles returns the requested quantiles (each in [0, 1]) of an unsorted
+// sample, in the order asked. An empty sample yields zeros. The server's
+// /metrics endpoint uses it for scheduling-latency gauges.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = Percentile(s, q*100)
+	}
+	return out
+}
+
 // String renders a compact one-line summary.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g p95=%.4g max=%.4g",

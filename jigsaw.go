@@ -28,6 +28,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jigsaws"
 	"repro/internal/laas"
 	"repro/internal/lcs"
@@ -74,6 +75,23 @@ type (
 	// Record is the outcome of one job.
 	Record = sched.Record
 )
+
+// Online scheduling types (the jigsawd daemon's core; see internal/engine).
+type (
+	// Engine is the incremental, event-driven scheduling engine: the same
+	// FIFO + EASY-backfill core as Scheduler, driven by Submit/Cancel/
+	// Step/AdvanceTo instead of a batch run loop.
+	Engine = engine.Engine
+	// EngineConfig selects the policy an Engine runs.
+	EngineConfig = engine.Config
+	// JobStatus is a point-in-time view of one submitted job.
+	JobStatus = engine.JobStatus
+	// EngineSnapshot is a consistent view of an engine for observers.
+	EngineSnapshot = engine.Snapshot
+)
+
+// DefaultWindow is the paper's EASY backfill lookahead (Section 5.4.3).
+const DefaultWindow = sched.DefaultWindow
 
 // Routing types.
 type (
@@ -134,6 +152,12 @@ func NewJigsawAllocator(tree *FatTree) *core.Allocator { return core.NewAllocato
 // NewScheduler returns an EASY-backfilling scheduler over the allocator.
 // Speed-ups from the scenario apply unless the allocator is the Baseline.
 func NewScheduler(a Allocator, sc Scenario) *Scheduler { return sched.New(a, sc) }
+
+// NewEngine returns an incremental scheduling engine; Scheduler.Run is
+// equivalent to submitting a whole trace to one and stepping it dry. The
+// engine is not safe for concurrent use — the jigsawd daemon
+// (internal/server) serializes access onto a single goroutine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // Scenarios returns the paper's six performance scenarios in figure order:
 // None, 5%, 10%, 20%, V2, Random.
