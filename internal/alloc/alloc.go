@@ -27,6 +27,10 @@ type Allocator interface {
 	Mirror(p *topology.Placement)
 	// FreeNodes returns the number of currently unallocated nodes.
 	FreeNodes() int
+	// State exposes the allocator's underlying allocation state, for
+	// invariant auditing (topology.State.CheckInvariants) and differential
+	// tests. Callers must not mutate it except through the allocator.
+	State() *topology.State
 	// Tree returns the fat-tree the allocator schedules onto.
 	Tree() *topology.FatTree
 	// Clone returns an independent deep copy (state included) used for

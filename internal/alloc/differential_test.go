@@ -1,0 +1,229 @@
+package alloc_test
+
+// Differential pinning for the incremental availability indices
+// (topology.State): every policy is driven through an identical randomized
+// allocate/release/clone/mirror history twice — once on an indexed state and
+// once on a state forced to recompute every query from raw residuals
+// (SetScanQueries) — and every placement must match bit-for-bit. After every
+// mutation the indexed state's CheckInvariants audits the indices against a
+// ground-truth recomputation.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/jigsaws"
+	"repro/internal/laas"
+	"repro/internal/lcs"
+	"repro/internal/ta"
+	"repro/internal/topology"
+)
+
+func newPolicy(t *testing.T, name string, tree *topology.FatTree) alloc.Allocator {
+	t.Helper()
+	switch name {
+	case "Baseline":
+		return baseline.NewAllocator(tree)
+	case "Jigsaw":
+		return core.NewAllocator(tree)
+	case "Jigsaw+S":
+		return jigsaws.NewAllocator(tree)
+	case "LaaS":
+		return laas.NewAllocator(tree)
+	case "TA":
+		return ta.NewAllocator(tree)
+	case "LC+S":
+		return lcs.NewAllocator(tree)
+	}
+	t.Fatalf("unknown policy %q", name)
+	return nil
+}
+
+var allPolicies = []string{"Baseline", "Jigsaw", "Jigsaw+S", "LaaS", "TA", "LC+S"}
+
+// samePlacement compares the parts of a placement that define the allocation.
+func samePlacement(a, b *topology.Placement) bool {
+	return a.Job == b.Job && a.Demand == b.Demand &&
+		reflect.DeepEqual(a.Nodes, b.Nodes) &&
+		reflect.DeepEqual(a.LeafUps, b.LeafUps) &&
+		reflect.DeepEqual(a.SpineUps, b.SpineUps)
+}
+
+func audit(t *testing.T, policy string, seed int64, step int, a alloc.Allocator) {
+	t.Helper()
+	if err := a.State().CheckInvariants(); err != nil {
+		t.Fatalf("%s seed %d step %d: invariants: %v", policy, seed, step, err)
+	}
+}
+
+// TestIndexedAllocatorsMatchScan is the randomized differential test: the
+// indexed implementation must place every job exactly where the scan
+// implementation does, across all six policies.
+func TestIndexedAllocatorsMatchScan(t *testing.T) {
+	tree := topology.MustNew(8)
+	const steps = 120
+	for _, policy := range allPolicies {
+		t.Run(policy, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				ai := newPolicy(t, policy, tree) // indexed
+				as := newPolicy(t, policy, tree) // scan reference
+				as.State().SetScanQueries(true)
+
+				type livePl struct{ pi, ps *topology.Placement }
+				var live []livePl
+				id := topology.JobID(1)
+
+				for step := 0; step < steps; step++ {
+					switch op := rng.Intn(10); {
+					case op < 5: // allocate
+						size := 1 + rng.Intn(2*tree.Radix)
+						pi, oki := ai.Allocate(id, size)
+						ps, oks := as.Allocate(id, size)
+						id++
+						if oki != oks {
+							t.Fatalf("seed %d step %d: indexed ok=%v scan ok=%v (size %d)", seed, step, oki, oks, size)
+						}
+						if oki {
+							if !samePlacement(pi, ps) {
+								t.Fatalf("seed %d step %d: placements diverge\nindexed: %+v\nscan:    %+v", seed, step, pi, ps)
+							}
+							live = append(live, livePl{pi, ps})
+						}
+					case op < 8: // release
+						if len(live) == 0 {
+							continue
+						}
+						k := rng.Intn(len(live))
+						ai.Release(live[k].pi)
+						as.Release(live[k].ps)
+						live = append(live[:k], live[k+1:]...)
+					case op < 9: // clone, allocate on the clones, compare
+						ci := ai.Clone()
+						cs := as.Clone()
+						size := 1 + rng.Intn(2*tree.Radix)
+						pi, oki := ci.Allocate(id, size)
+						ps, oks := cs.Allocate(id, size)
+						id++
+						if oki != oks || (oki && !samePlacement(pi, ps)) {
+							t.Fatalf("seed %d step %d: clone placements diverge", seed, step)
+						}
+						audit(t, policy, seed, step, ci)
+					default: // mirror: replay a live placement onto fresh clones
+						if len(live) == 0 {
+							continue
+						}
+						k := rng.Intn(len(live))
+						ci := ai.Clone()
+						cs := as.Clone()
+						ci.Release(live[k].pi)
+						cs.Release(live[k].ps)
+						ci.Mirror(live[k].pi)
+						cs.Mirror(live[k].ps)
+						if ci.FreeNodes() != cs.FreeNodes() {
+							t.Fatalf("seed %d step %d: mirror free-node divergence", seed, step)
+						}
+						audit(t, policy, seed, step, ci)
+					}
+					audit(t, policy, seed, step, ai)
+					if ai.FreeNodes() != as.FreeNodes() {
+						t.Fatalf("seed %d step %d: free nodes %d (indexed) != %d (scan)", seed, step, ai.FreeNodes(), as.FreeNodes())
+					}
+				}
+				// Drain: releasing everything must restore a pristine state.
+				for _, lp := range live {
+					ai.Release(lp.pi)
+					as.Release(lp.ps)
+				}
+				audit(t, policy, seed, steps, ai)
+				if ai.FreeNodes() != tree.Nodes() {
+					t.Fatalf("seed %d: %d nodes free after full drain, want %d", seed, ai.FreeNodes(), tree.Nodes())
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedQueriesMatchScanQueries flips one state between indexed and
+// scan mode and compares every availability query on identical contents,
+// under churn from a link-sharing allocator (the demand < capacity paths).
+func TestIndexedQueriesMatchScanQueries(t *testing.T) {
+	tree := topology.MustNew(8)
+	for _, policy := range []string{"Jigsaw", "LC+S"} {
+		t.Run(policy, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			a := newPolicy(t, policy, tree)
+			st := a.State()
+			var live []*topology.Placement
+			id := topology.JobID(1)
+			for step := 0; step < 150; step++ {
+				if rng.Intn(2) == 0 || len(live) == 0 {
+					if pl, ok := a.Allocate(id, 1+rng.Intn(2*tree.Radix)); ok {
+						live = append(live, pl)
+					}
+					id++
+				} else {
+					k := rng.Intn(len(live))
+					a.Release(live[k])
+					live = append(live[:k], live[k+1:]...)
+				}
+				for _, demand := range []int32{1, 5, 20, st.Capacity} {
+					for leaf := 0; leaf < tree.Leaves(); leaf++ {
+						st.SetScanQueries(false)
+						gotMask := st.LeafUpMask(leaf, demand)
+						gotWhole := st.WholeLeafAvailable(leaf, demand)
+						gotFull := st.FullyFreeLeaf(leaf)
+						gotLinks := st.LeafUplinksFree(leaf)
+						st.SetScanQueries(true)
+						if m := st.LeafUpMask(leaf, demand); m != gotMask {
+							t.Fatalf("step %d leaf %d demand %d: LeafUpMask %#x (indexed) != %#x (scan)", step, leaf, demand, gotMask, m)
+						}
+						if w := st.WholeLeafAvailable(leaf, demand); w != gotWhole {
+							t.Fatalf("step %d leaf %d demand %d: WholeLeafAvailable %v != %v", step, leaf, demand, gotWhole, w)
+						}
+						if f := st.FullyFreeLeaf(leaf); f != gotFull {
+							t.Fatalf("step %d leaf %d: FullyFreeLeaf %v != %v", step, leaf, gotFull, f)
+						}
+						if l := st.LeafUplinksFree(leaf); l != gotLinks {
+							t.Fatalf("step %d leaf %d: LeafUplinksFree %v != %v", step, leaf, gotLinks, l)
+						}
+						st.SetScanQueries(false)
+					}
+					for p := 0; p < tree.Pods; p++ {
+						st.SetScanQueries(false)
+						gotFree := st.FreeInPod(p)
+						gotFull := st.FullyFreeLeavesInPod(p)
+						gotSpines := st.PodSpinesFree(p)
+						var gotSp []uint64
+						for i := 0; i < tree.L2PerPod; i++ {
+							gotSp = append(gotSp, st.SpineMask(p, i, demand))
+						}
+						st.SetScanQueries(true)
+						if f := st.FreeInPod(p); f != gotFree {
+							t.Fatalf("step %d pod %d: FreeInPod %d != %d", step, p, gotFree, f)
+						}
+						if f := st.FullyFreeLeavesInPod(p); f != gotFull {
+							t.Fatalf("step %d pod %d: FullyFreeLeavesInPod %d != %d", step, p, gotFull, f)
+						}
+						if sp := st.PodSpinesFree(p); sp != gotSpines {
+							t.Fatalf("step %d pod %d: PodSpinesFree %v != %v", step, p, gotSpines, sp)
+						}
+						for i := 0; i < tree.L2PerPod; i++ {
+							if m := st.SpineMask(p, i, demand); m != gotSp[i] {
+								t.Fatalf("step %d pod %d L2 %d demand %d: SpineMask %#x != %#x", step, p, i, demand, gotSp[i], m)
+							}
+						}
+						st.SetScanQueries(false)
+					}
+				}
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,9 @@ func (a *Allocator) Tree() *topology.FatTree { return a.tree }
 // FreeNodes implements alloc.Allocator.
 func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
 
+// State implements alloc.Allocator.
+func (a *Allocator) State() *topology.State { return a.st }
+
 // Clone implements alloc.Allocator.
 func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone()}

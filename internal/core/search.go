@@ -48,6 +48,11 @@ func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*part
 	if LT < 1 || nL < 1 || nL > t.NodesPerLeaf || nrL >= nL || needLeaves > t.LeavesPerPod {
 		return nil, false
 	}
+	// Pod-level counter skip: the LT full leaves need nL free nodes each and
+	// the remainder leaf nrL more, all on distinct leaves of this pod.
+	if st.FreeInPod(pod) < LT*nL+nrL {
+		return nil, false
+	}
 
 	type leafInfo struct {
 		up   uint64
@@ -137,7 +142,7 @@ func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*part
 		}
 		return nil, false
 	}
-	return rec(0, ^uint64(0)>>(64-t.L2PerPod))
+	return rec(0, t.HalfMask())
 }
 
 // FindThreeLevel searches the machine for a whole-leaf three-level
@@ -166,13 +171,18 @@ func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps
 		return nil, false // remainder tree must be strictly smaller
 	}
 
-	// Per-pod candidate information.
+	// Per-pod candidate information, read from the state's availability
+	// indices: WholeLeafAvailable and SpineMask are O(1) for isolating
+	// demands, and pods without a single whole-free leaf (per-pod free-node
+	// counter below one leaf's worth) skip the leaf scan entirely.
 	freeLeaves := make([][]int, t.Pods) // fully-free leaf indices per pod
 	spine := make([][]uint64, t.Pods)   // per pod, per L2 index: free-spine mask
 	for p := 0; p < t.Pods; p++ {
-		for l := 0; l < t.LeavesPerPod; l++ {
-			if st.WholeLeafAvailable(t.LeafIndex(p, l), demand) {
-				freeLeaves[p] = append(freeLeaves[p], l)
+		if st.FreeInPod(p) >= nL {
+			for l := 0; l < t.LeavesPerPod; l++ {
+				if st.WholeLeafAvailable(t.LeafIndex(p, l), demand) {
+					freeLeaves[p] = append(freeLeaves[p], l)
+				}
 			}
 		}
 		spine[p] = make([]uint64, t.L2PerPod)
@@ -347,7 +357,7 @@ func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps
 	}
 
 	for i := range f {
-		f[i] = ^uint64(0) >> (64 - t.SpinesPerGroup)
+		f[i] = t.HalfMask()
 	}
 	return rec(0)
 }

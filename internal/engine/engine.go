@@ -347,6 +347,12 @@ func (e *Engine) Cancel(id int64) (JobStatus, error) {
 		it.state = StateCancelled
 		it.end = e.now
 		e.counts.Cancelled++
+		// A cancelled running job ends work just like a completion does;
+		// without this the accounting window would stop at the previous
+		// completion and overstate utilization.
+		if e.now > e.acc.LastEnd {
+			e.acc.LastEnd = e.now
+		}
 		e.schedule(e.now)
 		e.observe(e.now)
 	default:

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// seriesUtil integrates the used-node step series over [start, end] and
+// divides by total*(end-start) — the same average the daemon reports.
+func seriesUtil(series []UtilPoint, start, end float64, total int) float64 {
+	if end <= start {
+		return 0
+	}
+	area := 0.0
+	for i, p := range series {
+		t0, t1 := p.T, end
+		if i+1 < len(series) {
+			t1 = series[i+1].T
+		}
+		if t0 < start {
+			t0 = start
+		}
+		if t1 > end {
+			t1 = end
+		}
+		if t1 > t0 {
+			area += float64(p.Used) * (t1 - t0)
+		}
+	}
+	return area / (float64(total) * (end - start))
+}
+
+// checkConservation audits the allocator state's incremental indices and the
+// engine's node bookkeeping after a cancellation path.
+func checkConservation(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.cfg.Alloc.State().CheckInvariants(); err != nil {
+		t.Fatalf("allocator invariants: %v", err)
+	}
+	snap := e.Snapshot()
+	if snap.UsedNodes+snap.FreeNodes != snap.TotalNodes {
+		t.Fatalf("node conservation violated: %+v", snap)
+	}
+}
+
+// TestCancelRunningUpdatesLastEnd pins the accounting regression: cancelling
+// the only running job must advance LastEnd to the cancellation time, or the
+// utilization window stops at the previous completion (here: never starts)
+// and the derived utilization is wrong.
+func TestCancelRunningUpdatesLastEnd(t *testing.T) {
+	e := newEngine(t, 4) // 16 nodes
+	if err := e.Submit(job(1, 8, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	e.AdvanceTo(40)
+	if _, err := e.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	acc := e.Accounting()
+	if acc.LastEnd != 40 {
+		t.Fatalf("LastEnd = %g, want 40 (the cancellation time)", acc.LastEnd)
+	}
+	// 8 of 16 nodes busy for the whole [0, 40] window.
+	if got := seriesUtil(acc.UtilSeries, acc.FirstArrival, acc.LastEnd, 16); got != 0.5 {
+		t.Fatalf("utilization over accounting window = %g, want 0.5", got)
+	}
+	checkConservation(t, e)
+}
+
+// TestCancelBeforeArrivalEvent cancels a job whose arrival event has not
+// fired yet: the job must report cancelled, the stale arrival event must not
+// re-enqueue it, and the queue must stay consistent.
+func TestCancelBeforeArrivalEvent(t *testing.T) {
+	e := newEngine(t, 4)
+	if err := e.Submit(job(1, 4, 50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Cancel(1)
+	if err != nil || st.State != StateCancelled {
+		t.Fatalf("cancel before arrival: %+v, %v", st, err)
+	}
+	drain(e) // delivers (and must discard) the arrival event at t=50
+	if snap := e.Snapshot(); snap.QueueDepth != 0 || snap.RunningJobs != 0 {
+		t.Fatalf("cancelled job resurfaced: %+v", snap)
+	}
+	if c := e.Counts(); c.Cancelled != 1 || c.Started != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	checkConservation(t, e)
+}
+
+// TestCancelBlockedHeadWithCachedReservation cancels a blocked head whose
+// shadow-time reservation is cached: the cache must not serve the dead job's
+// reservation to its successor, and the successor must run at the correct
+// time.
+func TestCancelBlockedHeadWithCachedReservation(t *testing.T) {
+	e := newEngine(t, 4) // 16 nodes
+	for _, j := range []trace.Job{
+		job(1, 16, 0, 100), // fills the machine
+		job(2, 16, 0, 50),  // blocked head; reservation computed and cached
+		job(3, 8, 0, 200),  // would displace job 2's reservation, stays queued
+	} {
+		if err := e.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(0)
+	if !e.resvValid || e.resvID != 2 {
+		t.Fatalf("precondition: reservation cached for job 2, got valid=%v id=%d", e.resvValid, e.resvID)
+	}
+	if _, err := e.Cancel(2); err != nil {
+		t.Fatal(err)
+	}
+	// The reschedule inside Cancel promotes job 3 to head and must compute
+	// a fresh reservation for it rather than reuse job 2's.
+	if !e.resvValid || e.resvID != 3 {
+		t.Fatalf("reservation cache after cancel: valid=%v id=%d, want job 3", e.resvValid, e.resvID)
+	}
+	checkConservation(t, e)
+	drain(e)
+	st3, _ := e.Status(3)
+	if st3.State != StateCompleted || st3.Start != 100 {
+		t.Fatalf("job 3 = %+v, want completed with start 100", st3)
+	}
+	checkConservation(t, e)
+}
+
+// TestCancelMidBackfill cancels a backfilled job while the head is still
+// blocked: the freed nodes must be offered back to the queue immediately and
+// the head's service order preserved.
+func TestCancelMidBackfill(t *testing.T) {
+	e := newEngine(t, 4) // 16 nodes
+	for _, j := range []trace.Job{
+		job(1, 8, 0, 100), // runs
+		job(2, 16, 0, 50), // blocked head, shadow time 100
+		job(3, 4, 0, 20),  // backfills (finishes by the shadow time)
+	} {
+		if err := e.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTo(0)
+	if st3, _ := e.Status(3); st3.State != StateRunning {
+		t.Fatalf("job 3 = %+v, want backfilled and running", st3)
+	}
+	e.AdvanceTo(10)
+	if _, err := e.Cancel(3); err != nil {
+		t.Fatal(err)
+	}
+	// Head job 2 still cannot run (job 1 holds 8 nodes) and must stay head.
+	snap := e.Snapshot()
+	if snap.QueueDepth != 1 || snap.Queue[0].Job.ID != 2 {
+		t.Fatalf("queue after mid-backfill cancel: %+v", snap.Queue)
+	}
+	if snap.UsedNodes != 8 {
+		t.Fatalf("used = %d, want 8 (backfill's nodes freed)", snap.UsedNodes)
+	}
+	checkConservation(t, e)
+	drain(e)
+	st2, _ := e.Status(2)
+	if st2.State != StateCompleted || st2.Start != 100 {
+		t.Fatalf("job 2 = %+v, want completed with start 100", st2)
+	}
+	if c := e.Counts(); c.Cancelled != 1 || c.Completed != 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+	checkConservation(t, e)
+}

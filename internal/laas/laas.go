@@ -35,6 +35,9 @@ func (a *Allocator) Tree() *topology.FatTree { return a.tree }
 // FreeNodes implements alloc.Allocator.
 func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
 
+// State implements alloc.Allocator.
+func (a *Allocator) State() *topology.State { return a.st }
+
 // Clone implements alloc.Allocator.
 func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
@@ -55,9 +58,14 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 	}
 
 	// Single-subtree allocations first, exactly as in Jigsaw's search but
-	// at whole-leaf granularity.
+	// at whole-leaf granularity. A whole-leaf allocation needs `leaves`
+	// untouched leaves in one pod, so pods below that count (tracked by the
+	// state's per-pod index) are skipped without a search.
 	if leaves <= t.LeavesPerPod {
 		for pod := 0; pod < t.Pods; pod++ {
+			if a.st.FullyFreeLeavesInPod(pod) < leaves {
+				continue
+			}
 			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0); ok {
 				pl := p.Placement(t, job, 1)
 				pl.Apply(a.st)

@@ -71,6 +71,9 @@ func (a *Allocator) Tree() *topology.FatTree { return a.tree }
 // FreeNodes implements alloc.Allocator.
 func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
 
+// State implements alloc.Allocator.
+func (a *Allocator) State() *topology.State { return a.st }
+
 // Clone implements alloc.Allocator.
 func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
@@ -118,6 +121,11 @@ func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Part
 			steps--
 			if steps <= 0 {
 				return nil, false
+			}
+			// Per-pod counter skip (exactly FindTwoLevel's own early-out,
+			// hoisted above the call): the pod must hold size free nodes.
+			if a.st.FreeInPod(pod) < size {
+				continue
 			}
 			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL); ok {
 				return p, true
@@ -208,7 +216,7 @@ func (a *Allocator) podSolutions(demand int32, pod, lt, nL int, steps *int) []su
 			}
 		}
 	}
-	rec(0, ^uint64(0)>>(64-t.L2PerPod))
+	rec(0, t.HalfMask())
 	return sols
 }
 
@@ -238,7 +246,7 @@ func (a *Allocator) findGeneral(demand int32, T, lt, nL, LrT, nrL int, steps *in
 	chosenSol := make([]int, 0, T)  // solution index per chosen pod
 	f := make([]uint64, t.L2PerPod) // per-L2 spine intersection over chosen pods
 	for i := range f {
-		f[i] = ^uint64(0) >> (64 - t.SpinesPerGroup)
+		f[i] = t.HalfMask()
 	}
 	inUse := make([]bool, t.Pods)
 
@@ -275,7 +283,7 @@ func (a *Allocator) findGeneral(demand int32, T, lt, nL, LrT, nrL int, steps *in
 					return nil, false
 				}
 				if LrT == 0 {
-					rsols = []subSolution{{mask: ^uint64(0) >> (64 - t.L2PerPod)}}
+					rsols = []subSolution{{mask: t.HalfMask()}}
 				}
 				for _, rs := range rsols {
 					// A: indices usable as S members against this pod.
@@ -443,7 +451,7 @@ func (a *Allocator) findGeneral(demand int32, T, lt, nL, LrT, nrL int, steps *in
 		}
 		return nil, false
 	}
-	return rec(0, ^uint64(0)>>(64-t.L2PerPod))
+	return rec(0, t.HalfMask())
 }
 
 func lowestBitsOf(m uint64, n int) []int {

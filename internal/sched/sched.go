@@ -113,9 +113,6 @@ func (s *Scheduler) Engine() (*engine.Engine, error) {
 // Run simulates the whole trace and returns the result. The trace is not
 // modified; jobs are processed in arrival order with ties broken by ID.
 func (s *Scheduler) Run(tr *trace.Trace) (*Result, error) {
-	if s.Window == 0 {
-		s.Window = DefaultWindow
-	}
 	eng, err := s.Engine()
 	if err != nil {
 		return nil, err

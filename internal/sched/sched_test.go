@@ -296,3 +296,30 @@ func TestLCSSchedulerRuns(t *testing.T) {
 		t.Fatalf("records = %d", len(res.Records))
 	}
 }
+
+// TestRunDoesNotMutateScheduler pins a receiver-mutation regression: Run
+// used to write the window default back into the struct, so a caller's
+// zero-valued Scheduler silently changed between runs (and a copy made
+// before the first Run no longer compared equal).
+func TestRunDoesNotMutateScheduler(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := Scheduler{Alloc: baseline.NewAllocator(tree), Scenario: scenario.None{}}
+	before := s
+	if _, err := s.Run(tr(16, job(1, 4, 0, 10), job(2, 8, 1, 5))); err != nil {
+		t.Fatal(err)
+	}
+	if s != before {
+		t.Fatalf("Run mutated the scheduler: before %+v after %+v", before, s)
+	}
+	if s.Window != 0 {
+		t.Fatalf("Window = %d, want the zero value preserved", s.Window)
+	}
+	// The default must still apply: a second run behaves identically.
+	r2, err := s.Run(tr(16, job(1, 4, 0, 10), job(2, 8, 1, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Records) != 2 {
+		t.Fatalf("second run records = %d, want 2", len(r2.Records))
+	}
+}

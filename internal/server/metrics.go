@@ -60,14 +60,14 @@ func (h *latencyHist) Observe(v float64) {
 }
 
 // write renders the histogram and its quantile gauges under the given name.
-func (h *latencyHist) write(w *metricsWriter, name string) {
+func (h *latencyHist) write(w *metricsWriter, name, help string) {
 	h.mu.Lock()
 	counts := append([]int64(nil), h.counts...)
 	sum, n := h.sum, h.n
 	qs := stats.Quantiles(h.samples, 0.5, 0.95, 0.99)
 	h.mu.Unlock()
 
-	w.header(name, "histogram", "Engine time per scheduling request (Submit/Cancel plus the event steps it triggers).")
+	w.header(name, "histogram", help)
 	for i, b := range latencyBuckets {
 		fmt.Fprintf(w.b, "%s_bucket{le=%q} %d\n", name, formatFloat(b), counts[i])
 	}
@@ -75,7 +75,7 @@ func (h *latencyHist) write(w *metricsWriter, name string) {
 	fmt.Fprintf(w.b, "%s_sum %s\n", name, formatFloat(sum))
 	fmt.Fprintf(w.b, "%s_count %d\n", name, n)
 	for i, q := range []string{"p50", "p95", "p99"} {
-		w.gauge(name+"_"+q, "Scheduling-latency quantile over the most recent requests.", qs[i])
+		w.gauge(name+"_"+q, "Quantile over the most recent observations.", qs[i])
 	}
 }
 

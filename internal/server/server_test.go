@@ -268,10 +268,16 @@ func TestMetricsExposition(t *testing.T) {
 		"jigsawd_schedule_latency_seconds_bucket{le=\"+Inf\"} 1",
 		"jigsawd_schedule_latency_seconds_count 1",
 		"jigsawd_schedule_latency_seconds_p95",
+		"jigsawd_request_queue_wait_seconds_bucket{le=\"+Inf\"} 1",
+		"jigsawd_request_queue_wait_seconds_count 1",
 		`jigsawd_http_requests_total{route="POST /v1/jobs",code="202"}`,
 		"# TYPE jigsawd_jobs_submitted_total counter",
 		"# TYPE jigsawd_utilization_instant gauge",
 		"# TYPE jigsawd_schedule_latency_seconds histogram",
+		"# TYPE jigsawd_request_queue_wait_seconds histogram",
+		// The latency HELP must promise engine time only: the measurement is
+		// taken on the engine goroutine, not around the request channel.
+		"queue wait excluded",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

@@ -47,28 +47,26 @@ func (a *Allocator) Tree() *topology.FatTree { return a.tree }
 // FreeNodes implements alloc.Allocator.
 func (a *Allocator) FreeNodes() int { return a.st.FreeNodes() }
 
+// State implements alloc.Allocator.
+func (a *Allocator) State() *topology.State { return a.st }
+
 // Clone implements alloc.Allocator.
 func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone()}
 }
 
 // leafOwnable reports whether every uplink of the leaf is free, i.e. no
-// other multi-leaf job has claimed the leaf.
+// other multi-leaf job has claimed the leaf. With capacity-1 links this is
+// exactly the state's untouched-uplink index.
 func (a *Allocator) leafOwnable(leafIdx int) bool {
-	full := uint64(1)<<a.tree.L2PerPod - 1
-	return a.st.LeafUpMask(leafIdx, 1) == full
+	return a.st.LeafUplinksFree(leafIdx)
 }
 
 // podOwnable reports whether every L2→spine uplink of the pod is free, i.e.
-// no machine-level job has claimed the pod.
+// no machine-level job has claimed the pod (the per-pod busy-spine counter
+// is zero).
 func (a *Allocator) podOwnable(pod int) bool {
-	full := uint64(1)<<a.tree.SpinesPerGroup - 1
-	for i := 0; i < a.tree.L2PerPod; i++ {
-		if a.st.SpineMask(pod, i, 1) != full {
-			return false
-		}
-	}
-	return true
+	return a.st.PodSpinesFree(pod)
 }
 
 // Allocate implements alloc.Allocator.
@@ -91,12 +89,21 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 // route through the leaf switch, which a multi-leaf job's implicit
 // reservation covers), but leaf-level jobs share leaves with each other.
 func (a *Allocator) allocLeafLevel(job topology.JobID, size int) (*topology.Placement, bool) {
-	for leaf := 0; leaf < a.tree.Leaves(); leaf++ {
-		if a.st.FreeInLeaf(leaf) >= size && a.leafOwnable(leaf) {
-			pl := topology.NewPlacement(job, 1)
-			pl.AddLeafNodes(leaf, size)
-			pl.Apply(a.st)
-			return pl, true
+	t := a.tree
+	for pod := 0; pod < t.Pods; pod++ {
+		// Per-pod counter skip: no leaf can hold size free nodes if the
+		// whole pod has fewer.
+		if a.st.FreeInPod(pod) < size {
+			continue
+		}
+		for l := 0; l < t.LeavesPerPod; l++ {
+			leaf := t.LeafIndex(pod, l)
+			if a.st.FreeInLeaf(leaf) >= size && a.leafOwnable(leaf) {
+				pl := topology.NewPlacement(job, 1)
+				pl.AddLeafNodes(leaf, size)
+				pl.Apply(a.st)
+				return pl, true
+			}
 		}
 	}
 	return nil, false
@@ -112,13 +119,12 @@ func (a *Allocator) claimLeaves(pl *topology.Placement, pod, size int) bool {
 	total := 0
 	for l := 0; l < t.LeavesPerPod; l++ {
 		leafIdx := t.LeafIndex(pod, l)
-		free := a.st.FreeInLeaf(leafIdx)
 		// A multi-leaf job takes whole leaf switches: the leaf must be
 		// empty (no leaf-level jobs' nodes share its crossbar) and its
-		// uplinks unclaimed.
-		if free == t.NodesPerLeaf && a.leafOwnable(leafIdx) {
-			cands = append(cands, cand{leafIdx, free})
-			total += free
+		// uplinks unclaimed — exactly the state's untouched-leaf index.
+		if a.st.FullyFreeLeaf(leafIdx) {
+			cands = append(cands, cand{leafIdx, t.NodesPerLeaf})
+			total += t.NodesPerLeaf
 		}
 	}
 	if total < size {
@@ -157,6 +163,12 @@ func (a *Allocator) allocPodLevel(job topology.JobID, size int) (*topology.Place
 		if !a.podOwnable(pod) {
 			continue
 		}
+		// claimLeaves draws only from fully-free leaves, so a pod with
+		// fewer untouched leaves than the job needs can never satisfy it;
+		// skip via the per-pod counter.
+		if a.st.FullyFreeLeavesInPod(pod)*a.tree.NodesPerLeaf < size {
+			continue
+		}
 		pl := topology.NewPlacement(job, 1)
 		if a.claimLeaves(pl, pod, size) {
 			pl.Apply(a.st)
@@ -176,6 +188,10 @@ func (a *Allocator) allocMachineLevel(job topology.JobID, size int) (*topology.P
 pods:
 	for p := 0; p < t.Pods; p++ {
 		if !a.podOwnable(p) {
+			continue
+		}
+		// An empty pod contributes nothing; skip via the per-pod counter.
+		if a.st.FreeInPod(p) == 0 {
 			continue
 		}
 		avail := 0

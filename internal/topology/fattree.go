@@ -75,6 +75,17 @@ func MustNew(radix int) *FatTree {
 	return t
 }
 
+// HalfMask returns a bitmask with Radix/2 low bits set. Per-leaf node-slot
+// masks, per-leaf uplink masks, and per-group spine masks are all this wide;
+// New rejects radices above 128, so the mask always fits a uint64 (and the
+// shift below is never negative).
+func (t *FatTree) HalfMask() uint64 {
+	if t.LeavesPerPod >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<t.LeavesPerPod - 1
+}
+
 // Nodes returns the total number of compute nodes in the tree.
 func (t *FatTree) Nodes() int { return t.Pods * t.LeavesPerPod * t.NodesPerLeaf }
 

@@ -119,9 +119,8 @@ func (p *Placement) applyConcrete(s *State, i int) {
 		panic(fmt.Sprintf("topology: node %d not free on re-apply", n))
 	}
 	s.freeNode[leafIdx] &^= 1 << slot
-	s.freeCnt[leafIdx]--
-	s.freeTotal--
 	s.nodeOwner[n] = p.Job
+	s.noteNodesTaken(leafIdx, 1)
 }
 
 // Release returns every node and link of the placement to the state.

@@ -20,6 +20,28 @@ import (
 // Node-to-leaf links are dedicated per node and never shared, so they are
 // represented implicitly by node ownership.
 //
+// # Availability indices
+//
+// The residual arrays (nodeOwner, leafUp, spineUp) are the ground truth; on
+// top of them the State maintains incremental availability indices so the
+// allocation search never rescans raw residuals on its hot path:
+//
+//   - upFull: per leaf, the bitmask of L2 indices whose uplink is untouched
+//     (residual == Capacity);
+//   - spineFull: per (pod, L2 index), the bitmask of untouched spine uplinks;
+//   - leafFull: per leaf, whether the whole leaf is untouched (every node
+//     free and every uplink at full residual);
+//   - podFullLeaves / podFree: per pod, the count of untouched leaves and the
+//     total free-node count;
+//   - podSpineBusy: per pod, the count of spine uplinks below full residual.
+//
+// Every take/return mutator updates the indices in O(changed links/nodes),
+// Clone copies them, and CheckInvariants audits them against a ground-truth
+// recomputation. For the isolating schedulers (Capacity 1) every
+// availability query is answered directly from the indices; the link-sharing
+// schedulers fall back to scanning only the links the indices mark as
+// partially used.
+//
 // The zero State is not usable; construct with NewState. State is not safe
 // for concurrent use.
 type State struct {
@@ -34,6 +56,20 @@ type State struct {
 	leafUp    []int32  // residual per (leafIdx*L2PerPod + i)
 	spineUp   []int32  // residual per ((pod*L2PerPod + i)*SpinesPerGroup + s)
 	freeTotal int      // total free nodes
+
+	// Incremental availability indices (see the type comment).
+	upFull        []uint64 // per leaf: L2 indices with residual == Capacity
+	spineFull     []uint64 // per (pod*L2PerPod + i): spines with residual == Capacity
+	leafFull      []bool   // per leaf: all nodes free and all uplinks untouched
+	podFullLeaves []int32  // per pod: count of leafFull leaves
+	podFree       []int32  // per pod: total free nodes
+	podSpineBusy  []int32  // per pod: spine uplinks below full residual
+
+	// scanQueries forces every availability query to recompute its answer
+	// from the raw residuals instead of the indices. The differential tests
+	// use it to pin the indexed implementation bit-for-bit against the scan
+	// implementation; production code never sets it.
+	scanQueries bool
 }
 
 // NewState returns a fully-free allocation state for the tree with the given
@@ -44,25 +80,40 @@ func NewState(tree *FatTree, capacity int32) *State {
 	}
 	leaves := tree.Leaves()
 	s := &State{
-		Tree:      tree,
-		Capacity:  capacity,
-		nodeOwner: make([]JobID, tree.Nodes()),
-		freeNode:  make([]uint64, leaves),
-		freeCnt:   make([]int32, leaves),
-		leafUp:    make([]int32, leaves*tree.L2PerPod),
-		spineUp:   make([]int32, tree.Pods*tree.L2PerPod*tree.SpinesPerGroup),
-		freeTotal: tree.Nodes(),
+		Tree:          tree,
+		Capacity:      capacity,
+		nodeOwner:     make([]JobID, tree.Nodes()),
+		freeNode:      make([]uint64, leaves),
+		freeCnt:       make([]int32, leaves),
+		leafUp:        make([]int32, leaves*tree.L2PerPod),
+		spineUp:       make([]int32, tree.Pods*tree.L2PerPod*tree.SpinesPerGroup),
+		freeTotal:     tree.Nodes(),
+		upFull:        make([]uint64, leaves),
+		spineFull:     make([]uint64, tree.Pods*tree.L2PerPod),
+		leafFull:      make([]bool, leaves),
+		podFullLeaves: make([]int32, tree.Pods),
+		podFree:       make([]int32, tree.Pods),
+		podSpineBusy:  make([]int32, tree.Pods),
 	}
-	full := uint64(1)<<tree.NodesPerLeaf - 1
+	full := tree.HalfMask()
 	for l := range s.freeNode {
 		s.freeNode[l] = full
 		s.freeCnt[l] = int32(tree.NodesPerLeaf)
+		s.upFull[l] = full
+		s.leafFull[l] = true
 	}
 	for i := range s.leafUp {
 		s.leafUp[i] = capacity
 	}
 	for i := range s.spineUp {
 		s.spineUp[i] = capacity
+	}
+	for i := range s.spineFull {
+		s.spineFull[i] = full
+	}
+	for p := 0; p < tree.Pods; p++ {
+		s.podFullLeaves[p] = int32(tree.LeavesPerPod)
+		s.podFree[p] = int32(tree.PodNodes())
 	}
 	return s
 }
@@ -71,17 +122,31 @@ func NewState(tree *FatTree, capacity int32) *State {
 // reservation computation.
 func (s *State) Clone() *State {
 	c := &State{
-		Tree:      s.Tree,
-		Capacity:  s.Capacity,
-		nodeOwner: append([]JobID(nil), s.nodeOwner...),
-		freeNode:  append([]uint64(nil), s.freeNode...),
-		freeCnt:   append([]int32(nil), s.freeCnt...),
-		leafUp:    append([]int32(nil), s.leafUp...),
-		spineUp:   append([]int32(nil), s.spineUp...),
-		freeTotal: s.freeTotal,
+		Tree:          s.Tree,
+		Capacity:      s.Capacity,
+		nodeOwner:     append([]JobID(nil), s.nodeOwner...),
+		freeNode:      append([]uint64(nil), s.freeNode...),
+		freeCnt:       append([]int32(nil), s.freeCnt...),
+		leafUp:        append([]int32(nil), s.leafUp...),
+		spineUp:       append([]int32(nil), s.spineUp...),
+		freeTotal:     s.freeTotal,
+		upFull:        append([]uint64(nil), s.upFull...),
+		spineFull:     append([]uint64(nil), s.spineFull...),
+		leafFull:      append([]bool(nil), s.leafFull...),
+		podFullLeaves: append([]int32(nil), s.podFullLeaves...),
+		podFree:       append([]int32(nil), s.podFree...),
+		podSpineBusy:  append([]int32(nil), s.podSpineBusy...),
+		scanQueries:   s.scanQueries,
 	}
 	return c
 }
+
+// SetScanQueries forces (or stops forcing) every availability query to
+// recompute from raw residuals, ignoring the incremental indices. Clones
+// inherit the setting. It exists so the differential tests can pin the
+// indexed implementation against the scan implementation; production code
+// never calls it.
+func (s *State) SetScanQueries(v bool) { s.scanQueries = v }
 
 // FreeNodes returns the total number of unallocated nodes.
 func (s *State) FreeNodes() int { return s.freeTotal }
@@ -94,12 +159,61 @@ func (s *State) FreeInLeaf(leafIdx int) int { return int(s.freeCnt[leafIdx]) }
 
 // FreeInPod returns the number of free nodes in the given pod.
 func (s *State) FreeInPod(pod int) int {
-	n := 0
-	base := pod * s.Tree.LeavesPerPod
-	for l := 0; l < s.Tree.LeavesPerPod; l++ {
-		n += int(s.freeCnt[base+l])
+	if s.scanQueries {
+		n := 0
+		base := pod * s.Tree.LeavesPerPod
+		for l := 0; l < s.Tree.LeavesPerPod; l++ {
+			n += int(s.freeCnt[base+l])
+		}
+		return n
 	}
-	return n
+	return int(s.podFree[pod])
+}
+
+// FullyFreeLeavesInPod returns the number of leaves in the pod that are
+// completely untouched (every node free, every uplink at full residual).
+func (s *State) FullyFreeLeavesInPod(pod int) int {
+	if s.scanQueries {
+		n := 0
+		base := pod * s.Tree.LeavesPerPod
+		for l := 0; l < s.Tree.LeavesPerPod; l++ {
+			if s.scanFullyFreeLeaf(base + l) {
+				n++
+			}
+		}
+		return n
+	}
+	return int(s.podFullLeaves[pod])
+}
+
+// LeafUplinksFree reports whether every uplink of the leaf carries full
+// residual, i.e. no job holds (any share of) a leaf uplink here.
+func (s *State) LeafUplinksFree(leafIdx int) bool {
+	if s.scanQueries {
+		base := leafIdx * s.Tree.L2PerPod
+		for i := 0; i < s.Tree.L2PerPod; i++ {
+			if s.leafUp[base+i] != s.Capacity {
+				return false
+			}
+		}
+		return true
+	}
+	return s.upFull[leafIdx] == s.Tree.HalfMask()
+}
+
+// PodSpinesFree reports whether every L2->spine uplink of the pod carries
+// full residual, i.e. no job holds (any share of) a spine uplink here.
+func (s *State) PodSpinesFree(pod int) bool {
+	if s.scanQueries {
+		base := pod * s.Tree.L2PerPod * s.Tree.SpinesPerGroup
+		for i := 0; i < s.Tree.L2PerPod*s.Tree.SpinesPerGroup; i++ {
+			if s.spineUp[base+i] != s.Capacity {
+				return false
+			}
+		}
+		return true
+	}
+	return s.podSpineBusy[pod] == 0
 }
 
 // Owner returns the job owning node n, or 0 if the node is free.
@@ -108,10 +222,26 @@ func (s *State) Owner(n NodeID) JobID { return s.nodeOwner[n] }
 // LeafUpMask returns a bitmask over L2 indices i such that the uplink from
 // the given leaf to L2 switch i has residual capacity >= demand.
 func (s *State) LeafUpMask(leafIdx int, demand int32) uint64 {
-	var m uint64
 	base := leafIdx * s.Tree.L2PerPod
+	if s.scanQueries {
+		var m uint64
+		for i := 0; i < s.Tree.L2PerPod; i++ {
+			if s.leafUp[base+i] >= demand {
+				m |= 1 << i
+			}
+		}
+		return m
+	}
+	if demand > s.Capacity {
+		return 0
+	}
+	m := s.upFull[leafIdx]
+	if demand == s.Capacity || m == s.Tree.HalfMask() {
+		return m
+	}
+	// Link-sharing demand below capacity: scan only the partially-used links.
 	for i := 0; i < s.Tree.L2PerPod; i++ {
-		if s.leafUp[base+i] >= demand {
+		if m&(1<<i) == 0 && s.leafUp[base+i] >= demand {
 			m |= 1 << i
 		}
 	}
@@ -121,10 +251,25 @@ func (s *State) LeafUpMask(leafIdx int, demand int32) uint64 {
 // SpineMask returns a bitmask over spines-in-group s such that the uplink
 // from L2 switch i of the given pod to that spine has residual >= demand.
 func (s *State) SpineMask(pod, l2 int, demand int32) uint64 {
-	var m uint64
 	base := (pod*s.Tree.L2PerPod + l2) * s.Tree.SpinesPerGroup
+	if s.scanQueries {
+		var m uint64
+		for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
+			if s.spineUp[base+sp] >= demand {
+				m |= 1 << sp
+			}
+		}
+		return m
+	}
+	if demand > s.Capacity {
+		return 0
+	}
+	m := s.spineFull[pod*s.Tree.L2PerPod+l2]
+	if demand == s.Capacity || m == s.Tree.HalfMask() {
+		return m
+	}
 	for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
-		if s.spineUp[base+sp] >= demand {
+		if m&(1<<sp) == 0 && s.spineUp[base+sp] >= demand {
 			m |= 1 << sp
 		}
 	}
@@ -146,7 +291,23 @@ func (s *State) SpineUpResidual(pod, l2, sp int) int32 {
 // FullyFreeLeaf reports whether every node and every uplink of the leaf is
 // completely unallocated (full residual).
 func (s *State) FullyFreeLeaf(leafIdx int) bool {
-	return s.WholeLeafAvailable(leafIdx, s.Capacity)
+	if s.scanQueries {
+		return s.scanFullyFreeLeaf(leafIdx)
+	}
+	return s.leafFull[leafIdx]
+}
+
+func (s *State) scanFullyFreeLeaf(leafIdx int) bool {
+	if int(s.freeCnt[leafIdx]) != s.Tree.NodesPerLeaf {
+		return false
+	}
+	base := leafIdx * s.Tree.L2PerPod
+	for i := 0; i < s.Tree.L2PerPod; i++ {
+		if s.leafUp[base+i] != s.Capacity {
+			return false
+		}
+	}
+	return true
 }
 
 // WholeLeafAvailable reports whether the leaf can serve as a whole leaf for
@@ -154,7 +315,22 @@ func (s *State) FullyFreeLeaf(leafIdx int) bool {
 // uplink with at least demand residual. With demand equal to the capacity
 // this is exactly FullyFreeLeaf; link-sharing schemes pass smaller demands.
 func (s *State) WholeLeafAvailable(leafIdx int, demand int32) bool {
-	if int(s.freeCnt[leafIdx]) != s.Tree.NodesPerLeaf {
+	if !s.scanQueries {
+		if demand > s.Capacity {
+			return false
+		}
+		if s.leafFull[leafIdx] {
+			return true
+		}
+		if int(s.freeCnt[leafIdx]) != s.Tree.NodesPerLeaf {
+			return false
+		}
+		if demand == s.Capacity {
+			// Nodes are all free but the leaf is not leafFull, so some
+			// uplink is below full residual.
+			return false
+		}
+	} else if int(s.freeCnt[leafIdx]) != s.Tree.NodesPerLeaf {
 		return false
 	}
 	base := leafIdx * s.Tree.L2PerPod
@@ -164,6 +340,37 @@ func (s *State) WholeLeafAvailable(leafIdx int, demand int32) bool {
 		}
 	}
 	return true
+}
+
+// refreshLeafFull recomputes the leaf's untouched flag from freeCnt and
+// upFull after either changed, adjusting the per-pod count on transitions.
+func (s *State) refreshLeafFull(leafIdx int) {
+	full := int(s.freeCnt[leafIdx]) == s.Tree.NodesPerLeaf && s.upFull[leafIdx] == s.Tree.HalfMask()
+	if full == s.leafFull[leafIdx] {
+		return
+	}
+	s.leafFull[leafIdx] = full
+	if full {
+		s.podFullLeaves[s.Tree.LeafPod(leafIdx)]++
+	} else {
+		s.podFullLeaves[s.Tree.LeafPod(leafIdx)]--
+	}
+}
+
+// noteNodesTaken updates the node-side indices after n nodes left the leaf.
+func (s *State) noteNodesTaken(leafIdx, n int) {
+	s.freeCnt[leafIdx] -= int32(n)
+	s.freeTotal -= n
+	s.podFree[s.Tree.LeafPod(leafIdx)] -= int32(n)
+	s.refreshLeafFull(leafIdx)
+}
+
+// noteNodeReturned updates the node-side indices after one node came back.
+func (s *State) noteNodeReturned(leafIdx int) {
+	s.freeCnt[leafIdx]++
+	s.freeTotal++
+	s.podFree[s.Tree.LeafPod(leafIdx)]++
+	s.refreshLeafFull(leafIdx)
 }
 
 // takeNodes allocates n free nodes (lowest slots first) on the leaf to job.
@@ -182,8 +389,7 @@ func (s *State) takeNodes(leafIdx, n int, job JobID) []NodeID {
 		out = append(out, id)
 	}
 	s.freeNode[leafIdx] = m
-	s.freeCnt[leafIdx] -= int32(n)
-	s.freeTotal -= n
+	s.noteNodesTaken(leafIdx, n)
 	return out
 }
 
@@ -196,8 +402,7 @@ func (s *State) returnNode(n NodeID) {
 	leafIdx := int(n) / s.Tree.NodesPerLeaf
 	slot := int(n) % s.Tree.NodesPerLeaf
 	s.freeNode[leafIdx] |= 1 << slot
-	s.freeCnt[leafIdx]++
-	s.freeTotal++
+	s.noteNodeReturned(leafIdx)
 }
 
 // takeLeafUp consumes demand units of the uplink (leafIdx -> L2 i).
@@ -206,7 +411,12 @@ func (s *State) takeLeafUp(leafIdx, i int, demand int32) {
 	if *r < demand {
 		panic(fmt.Sprintf("topology: leaf %d uplink %d over-allocated (%d < %d)", leafIdx, i, *r, demand))
 	}
+	wasFull := *r == s.Capacity
 	*r -= demand
+	if wasFull && demand > 0 {
+		s.upFull[leafIdx] &^= 1 << i
+		s.refreshLeafFull(leafIdx)
+	}
 }
 
 // takeSpineUp consumes demand units of the uplink (pod, L2 i -> spine sp).
@@ -215,7 +425,12 @@ func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
 	if *r < demand {
 		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d over-allocated (%d < %d)", pod, l2, sp, *r, demand))
 	}
+	wasFull := *r == s.Capacity
 	*r -= demand
+	if wasFull && demand > 0 {
+		s.spineFull[pod*s.Tree.L2PerPod+l2] &^= 1 << sp
+		s.podSpineBusy[pod]++
+	}
 }
 
 func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
@@ -223,6 +438,10 @@ func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
 	*r += demand
 	if *r > s.Capacity {
 		panic(fmt.Sprintf("topology: leaf %d uplink %d residual %d exceeds capacity", leafIdx, i, *r))
+	}
+	if *r == s.Capacity && demand > 0 {
+		s.upFull[leafIdx] |= 1 << i
+		s.refreshLeafFull(leafIdx)
 	}
 }
 
@@ -232,4 +451,108 @@ func (s *State) returnSpineUp(pod, l2, sp int, demand int32) {
 	if *r > s.Capacity {
 		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d residual %d exceeds capacity", pod, l2, sp, *r))
 	}
+	if *r == s.Capacity && demand > 0 {
+		s.spineFull[pod*s.Tree.L2PerPod+l2] |= 1 << sp
+		s.podSpineBusy[pod]--
+	}
+}
+
+// CheckInvariants audits the state: residuals within bounds, the derived
+// node bookkeeping (freeNode/freeCnt/freeTotal) consistent with nodeOwner,
+// and every incremental availability index equal to a ground-truth
+// recomputation. It returns the first mismatch found, or nil. Tests call it
+// after every mutation; it is O(machine) and never used on hot paths.
+func (s *State) CheckInvariants() error {
+	t := s.Tree
+	full := t.HalfMask()
+
+	// Node ground truth: nodeOwner drives freeNode, freeCnt, freeTotal,
+	// podFree, and the node half of leafFull.
+	totalFree := 0
+	for leaf := 0; leaf < t.Leaves(); leaf++ {
+		var mask uint64
+		cnt := 0
+		for slot := 0; slot < t.NodesPerLeaf; slot++ {
+			n := NodeID(leaf*t.NodesPerLeaf + slot)
+			if s.nodeOwner[n] == 0 {
+				mask |= 1 << slot
+				cnt++
+			}
+		}
+		if s.freeNode[leaf] != mask {
+			return fmt.Errorf("leaf %d: freeNode mask %#x, owners imply %#x", leaf, s.freeNode[leaf], mask)
+		}
+		if int(s.freeCnt[leaf]) != cnt {
+			return fmt.Errorf("leaf %d: freeCnt %d, owners imply %d", leaf, s.freeCnt[leaf], cnt)
+		}
+		totalFree += cnt
+	}
+	if s.freeTotal != totalFree {
+		return fmt.Errorf("freeTotal %d, owners imply %d", s.freeTotal, totalFree)
+	}
+
+	// Link residual bounds.
+	for i, r := range s.leafUp {
+		if r < 0 || r > s.Capacity {
+			return fmt.Errorf("leafUp[%d] residual %d outside [0, %d]", i, r, s.Capacity)
+		}
+	}
+	for i, r := range s.spineUp {
+		if r < 0 || r > s.Capacity {
+			return fmt.Errorf("spineUp[%d] residual %d outside [0, %d]", i, r, s.Capacity)
+		}
+	}
+
+	// Availability indices versus ground truth.
+	for leaf := 0; leaf < t.Leaves(); leaf++ {
+		var up uint64
+		base := leaf * t.L2PerPod
+		for i := 0; i < t.L2PerPod; i++ {
+			if s.leafUp[base+i] == s.Capacity {
+				up |= 1 << i
+			}
+		}
+		if s.upFull[leaf] != up {
+			return fmt.Errorf("leaf %d: upFull %#x, residuals imply %#x", leaf, s.upFull[leaf], up)
+		}
+		lf := int(s.freeCnt[leaf]) == t.NodesPerLeaf && up == full
+		if s.leafFull[leaf] != lf {
+			return fmt.Errorf("leaf %d: leafFull %v, ground truth %v", leaf, s.leafFull[leaf], lf)
+		}
+	}
+	for p := 0; p < t.Pods; p++ {
+		var fullLeaves, free int32
+		for l := 0; l < t.LeavesPerPod; l++ {
+			leaf := t.LeafIndex(p, l)
+			if s.leafFull[leaf] {
+				fullLeaves++
+			}
+			free += s.freeCnt[leaf]
+		}
+		if s.podFullLeaves[p] != fullLeaves {
+			return fmt.Errorf("pod %d: podFullLeaves %d, ground truth %d", p, s.podFullLeaves[p], fullLeaves)
+		}
+		if s.podFree[p] != free {
+			return fmt.Errorf("pod %d: podFree %d, ground truth %d", p, s.podFree[p], free)
+		}
+		var busy int32
+		for i := 0; i < t.L2PerPod; i++ {
+			var m uint64
+			base := (p*t.L2PerPod + i) * t.SpinesPerGroup
+			for sp := 0; sp < t.SpinesPerGroup; sp++ {
+				if s.spineUp[base+sp] == s.Capacity {
+					m |= 1 << sp
+				} else {
+					busy++
+				}
+			}
+			if s.spineFull[p*t.L2PerPod+i] != m {
+				return fmt.Errorf("pod %d L2 %d: spineFull %#x, residuals imply %#x", p, i, s.spineFull[p*t.L2PerPod+i], m)
+			}
+		}
+		if s.podSpineBusy[p] != busy {
+			return fmt.Errorf("pod %d: podSpineBusy %d, ground truth %d", p, s.podSpineBusy[p], busy)
+		}
+	}
+	return nil
 }

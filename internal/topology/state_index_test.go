@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHalfMaskBoundaries(t *testing.T) {
+	cases := []struct {
+		radix int
+		want  uint64
+	}{
+		{4, 0x3},
+		{8, 0xF},
+		{64, 1<<32 - 1},
+		{126, 1<<63 - 1},
+		{128, ^uint64(0)}, // k/2 == 64: the shift-width boundary
+	}
+	for _, c := range cases {
+		if got := MustNew(c.radix).HalfMask(); got != c.want {
+			t.Errorf("radix %d: HalfMask = %#x, want %#x", c.radix, got, c.want)
+		}
+	}
+}
+
+// TestRadix128State exercises the maximum supported radix, where every
+// per-leaf and per-group bitmask occupies all 64 bits: a <<64 or >>64 bug in
+// the index maintenance would silently corrupt availability here.
+func TestRadix128State(t *testing.T) {
+	ft := MustNew(128)
+	st := NewState(ft, 1)
+	if m := st.LeafUpMask(0, 1); m != ^uint64(0) {
+		t.Fatalf("pristine LeafUpMask = %#x, want all ones", m)
+	}
+	if m := st.SpineMask(0, 0, 1); m != ^uint64(0) {
+		t.Fatalf("pristine SpineMask = %#x, want all ones", m)
+	}
+	pl := NewPlacement(1, 1)
+	pl.AddLeafNodes(0, ft.NodesPerLeaf)
+	for i := 0; i < ft.L2PerPod; i++ {
+		pl.AddLeafUp(0, i)
+	}
+	pl.AddSpineUp(0, 0, ft.SpinesPerGroup-1) // highest bit of the group mask
+	pl.Apply(st)
+	if st.FullyFreeLeaf(0) || st.LeafUplinksFree(0) || st.PodSpinesFree(0) {
+		t.Fatal("indices missed a full-leaf allocation at radix 128")
+	}
+	if m := st.SpineMask(0, 0, 1); m != ^uint64(0)>>1 {
+		t.Fatalf("SpineMask after taking top spine = %#x", m)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	pl.Release(st)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullyFreeLeaf(0) || st.FreeInPod(0) != ft.PodNodes() {
+		t.Fatal("release did not restore the radix-128 indices")
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption proves the auditor is not a no-op:
+// each index, corrupted in isolation, must be reported.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		f    func(s *State)
+	}{
+		{"podFree", func(s *State) { s.podFree[0]++ }},
+		{"podFullLeaves", func(s *State) { s.podFullLeaves[1]-- }},
+		{"leafFull", func(s *State) { s.leafFull[2] = false }},
+		{"upFull", func(s *State) { s.upFull[0] ^= 1 }},
+		{"spineFull", func(s *State) { s.spineFull[3] ^= 2 }},
+		{"podSpineBusy", func(s *State) { s.podSpineBusy[2] = 1 }},
+		{"freeCnt", func(s *State) { s.freeCnt[1]-- }},
+		{"freeTotal", func(s *State) { s.freeTotal++ }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			st := NewState(MustNew(8), 1)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("pristine state must pass: %v", err)
+			}
+			c.f(st)
+			if err := st.CheckInvariants(); err == nil {
+				t.Fatalf("corrupted %s not detected", c.name)
+			}
+		})
+	}
+}
+
+// TestIndicesSurviveCloneChurn interleaves random takes/returns with clones
+// and verifies every state (original and clones) stays internally
+// consistent.
+func TestIndicesSurviveCloneChurn(t *testing.T) {
+	ft := MustNew(8)
+	st := NewState(ft, 40)
+	rng := rand.New(rand.NewSource(7))
+	var placed []*Placement
+	for step := 0; step < 200; step++ {
+		if rng.Intn(2) == 0 {
+			pl := NewPlacement(JobID(step+1), 5+int32(rng.Intn(4))*5)
+			leaf := rng.Intn(ft.Leaves())
+			n := 1 + rng.Intn(ft.NodesPerLeaf)
+			if st.FreeInLeaf(leaf) < n {
+				continue
+			}
+			pl.AddLeafNodes(leaf, n)
+			i := rng.Intn(ft.L2PerPod)
+			if st.LeafUpMask(leaf, pl.Demand)&(1<<i) != 0 {
+				pl.AddLeafUp(leaf, i)
+			}
+			pod := ft.LeafPod(leaf)
+			sp := rng.Intn(ft.SpinesPerGroup)
+			if st.SpineMask(pod, i, pl.Demand)&(1<<sp) != 0 {
+				pl.AddSpineUp(pod, i, sp)
+			}
+			pl.Apply(st)
+			placed = append(placed, pl)
+		} else if len(placed) > 0 {
+			k := rng.Intn(len(placed))
+			placed[k].Release(st)
+			placed = append(placed[:k], placed[k+1:]...)
+		}
+		if step%17 == 0 {
+			cl := st.Clone()
+			if err := cl.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: clone invariants: %v", step, err)
+			}
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	for _, pl := range placed {
+		pl.Release(st)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeNodes() != ft.Nodes() {
+		t.Fatalf("drain left %d free, want %d", st.FreeNodes(), ft.Nodes())
+	}
+}
