@@ -186,6 +186,47 @@ func BenchmarkEngineSubmitThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkEngineBackfillHeavy measures the EASY what-if path directly: a
+// near-machine-sized job blocks the head of the queue every 25 submissions,
+// so a deep backlog of small jobs is admitted through reservation and
+// displacement checks (non-conservative backfill) on almost every event.
+// This is the path the undo-journal transactions optimize; the steady-load
+// BenchmarkEngineSubmitThroughput above barely exercises it.
+func BenchmarkEngineBackfillHeavy(b *testing.B) {
+	tree := topology.MustNew(16) // 1024 nodes
+	eng, err := NewEngine(EngineConfig{Alloc: core.NewAllocator(tree)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrival := float64(i)
+		eng.AdvanceTo(arrival)
+		size := 1 + rng.Intn(16)
+		if i%25 == 24 {
+			// Blocker: needs nearly the whole machine, so it parks at the
+			// head while the window backfills around it.
+			size = tree.Nodes() - rng.Intn(32)
+		}
+		j := Job{
+			ID:      int64(i + 1),
+			Size:    size,
+			Arrival: arrival,
+			Runtime: 200 + rng.Float64()*400,
+		}
+		if err := eng.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for {
+		if _, ok := eng.Step(); !ok {
+			break
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkRoutePermutation measures the constructive rearrangeable
 // non-blocking router on a multi-tree partition.
 func BenchmarkRoutePermutation(b *testing.B) {

@@ -2,11 +2,15 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig6|table2|fig7|fig8|table3] [-scale 0.1]
+//	experiments [-run all|table1|fig6|table2|fig7|fig8|table3] [-scale 0.1] [-workers N]
 //
 // -scale shrinks trace job counts for quick runs; 1.0 reproduces the paper's
 // job counts (and a correspondingly long runtime, hours when LC+S is
 // involved at full scale, just as the paper reports).
+//
+// -workers bounds how many simulation cells run concurrently (default: one
+// per CPU). Output is byte-identical for every worker count; only Table 3's
+// wall-clock timings are affected — use -workers 1 for faithful timings.
 package main
 
 import (
@@ -21,9 +25,10 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, table1, fig6, table2, fig7, fig8, table3")
 	scale := flag.Float64("scale", 0.1, "trace scale factor in (0, 1]; 1.0 = paper job counts")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of text tables (fig6, table2, fig7, fig8, table3)")
+	workers := flag.Int("workers", 0, "concurrent simulation cells; 0 = one per CPU (output is identical for any value)")
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Out: os.Stdout}
+	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Workers: *workers, MeasureTime: true}
 	runners := map[string]func(experiments.Config) error{
 		"all":    experiments.All,
 		"table1": experiments.Table1,

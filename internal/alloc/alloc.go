@@ -37,3 +37,26 @@ type Allocator interface {
 	// what-if analysis such as EASY reservation computation.
 	Clone() Allocator
 }
+
+// TxnAllocator is the optional transaction extension of Allocator: what-if
+// analysis runs directly on the live state inside an undo-journal
+// transaction (topology.State Begin/Rollback/Commit) instead of on a deep
+// clone, making each what-if O(resources touched) rather than O(tree).
+//
+// The usual misuse rules apply: transactions do not nest, and Rollback or
+// Commit without Begin panics. Schedulers must leave the state outside any
+// transaction before returning control to their caller.
+//
+// Allocators whose Allocate/Release mutate only their topology.State get the
+// extension for free by delegating to the state; allocators carrying
+// auxiliary mutable placement state must either journal it themselves or not
+// implement TxnAllocator, in which case schedulers fall back to Clone.
+type TxnAllocator interface {
+	Allocator
+	// Begin starts recording mutations for rollback.
+	Begin()
+	// Rollback undoes every mutation since Begin and ends the transaction.
+	Rollback()
+	// Commit keeps every mutation since Begin and ends the transaction.
+	Commit()
+}

@@ -38,6 +38,15 @@ func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone()}
 }
 
+// Begin implements alloc.TxnAllocator.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // Allocate implements alloc.Allocator: any free nodes suffice.
 func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
 	if size < 1 || size > a.st.FreeNodes() {

@@ -49,6 +49,16 @@ func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget, SparseFirst: a.SparseFirst}
 }
 
+// Begin implements alloc.TxnAllocator: the allocator's only mutable state is
+// its topology.State, so the undo journal covers everything.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // FindPartition searches for a Jigsaw-legal partition of the given size
 // without charging it. It implements get_allocation of Algorithm 1: all
 // two-level (single-subtree) factorizations are tried first, then

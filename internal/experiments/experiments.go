@@ -7,6 +7,12 @@
 // Runs are deterministic except for the wall-clock scheduling times of
 // Table 3. The Scale knob shrinks trace job counts for quick runs; 1.0
 // reproduces the paper's counts (and the paper's multi-hour runtimes).
+//
+// Independent simulation cells — one (trace, scheme, scenario) run each —
+// execute on a bounded worker pool sized by Config.Workers (default: one
+// worker per CPU). Results are collected into index-addressed slices and
+// assembled in cell order, so every table and CSV is byte-identical
+// regardless of worker count.
 package experiments
 
 import (
@@ -43,6 +49,12 @@ type Config struct {
 	// MeasureTime enables wall-clock scheduling-time measurement; only
 	// Table 3 needs it.
 	MeasureTime bool
+	// Workers bounds how many simulation cells run concurrently; 0 or
+	// negative means runtime.NumCPU(). Output is byte-identical for every
+	// worker count, but Table 3's wall-clock timings are only faithful at
+	// Workers=1 (concurrent cells contend for the CPU and inflate each
+	// other's measurements).
+	Workers int
 }
 
 func (c Config) out() io.Writer {
@@ -138,19 +150,28 @@ type Fig6Row struct {
 }
 
 // Figure6Data computes average system utilization for every trace and
-// scheme (Figure 6).
+// scheme (Figure 6). Cells fan out across the worker pool.
 func Figure6Data(cfg Config) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, tr := range trace.All(cfg.scale()) {
-		row := Fig6Row{Trace: tr.Name, Util: map[string]float64{}}
-		for _, scheme := range Schemes {
-			res, err := Run(tr, scheme, scenario.None{}, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", tr.Name, scheme, err)
-			}
-			row.Util[scheme] = metrics.Utilization(res)
+	traces := trace.All(cfg.scale())
+	utils := make([]float64, len(traces)*len(Schemes))
+	err := cfg.forEachCell(len(utils), func(i int) error {
+		tr, scheme := traces[i/len(Schemes)], Schemes[i%len(Schemes)]
+		res, err := Run(tr, scheme, scenario.None{}, false)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", tr.Name, scheme, err)
 		}
-		rows = append(rows, row)
+		utils[i] = metrics.Utilization(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(traces))
+	for ti, tr := range traces {
+		rows[ti] = Fig6Row{Trace: tr.Name, Util: map[string]float64{}}
+		for si, s := range Schemes {
+			rows[ti].Util[s] = utils[ti*len(Schemes)+si]
+		}
 	}
 	return rows, nil
 }
@@ -182,13 +203,22 @@ func Figure6(cfg Config) error {
 // Thunder trace for the three isolating schedulers the paper tabulates.
 func Table2Data(cfg Config) (map[string][]int, error) {
 	tr := trace.ThunderLike(cfg.scale())
-	out := map[string][]int{}
-	for _, scheme := range []string{"LaaS", "Jigsaw", "TA"} {
-		res, err := Run(tr, scheme, scenario.None{}, false)
+	schemes := []string{"LaaS", "Jigsaw", "TA"}
+	hists := make([][]int, len(schemes))
+	err := cfg.forEachCell(len(schemes), func(i int) error {
+		res, err := Run(tr, schemes[i], scenario.None{}, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[scheme] = metrics.InstHistogram(res)
+		hists[i] = metrics.InstHistogram(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]int{}
+	for i, scheme := range schemes {
+		out[scheme] = hists[i]
 	}
 	return out, nil
 }
@@ -229,25 +259,42 @@ type Fig7Data struct {
 
 // Figure7Data computes normalized average turnaround times for one trace
 // under the six scenarios. Values are normalized to the Baseline run, which
-// never receives speed-ups.
+// never receives speed-ups. The Baseline run is cell 0 of the fan-out;
+// normalization happens after the pool drains, so scheme cells never wait
+// on it.
 func Figure7Data(cfg Config, tr *trace.Trace) (*Fig7Data, error) {
-	base, err := Run(tr, "Baseline", scenario.None{}, false)
+	type pair struct{ all, large float64 }
+	scs := scenario.All()
+	raw := make([]pair, 1+len(scs)*len(IsolatingSchemes))
+	err := cfg.forEachCell(len(raw), func(i int) error {
+		if i == 0 {
+			base, err := Run(tr, "Baseline", scenario.None{}, false)
+			if err != nil {
+				return err
+			}
+			raw[0] = pair{metrics.MeanTurnaround(base, 0), metrics.MeanTurnaround(base, 100)}
+			return nil
+		}
+		sc := scs[(i-1)/len(IsolatingSchemes)]
+		scheme := IsolatingSchemes[(i-1)%len(IsolatingSchemes)]
+		res, err := Run(tr, scheme, sc, false)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
+		}
+		raw[i] = pair{metrics.MeanTurnaround(res, 0), metrics.MeanTurnaround(res, 100)}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	baseAll := metrics.MeanTurnaround(base, 0)
-	baseLarge := metrics.MeanTurnaround(base, 100)
 	d := &Fig7Data{Trace: tr.Name, Cells: map[string]map[string]Fig7Cell{}}
-	for _, sc := range scenario.All() {
+	for si, sc := range scs {
 		d.Cells[sc.Name()] = map[string]Fig7Cell{}
-		for _, scheme := range IsolatingSchemes {
-			res, err := Run(tr, scheme, sc, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
-			}
+		for ki, scheme := range IsolatingSchemes {
+			p := raw[1+si*len(IsolatingSchemes)+ki]
 			d.Cells[sc.Name()][scheme] = Fig7Cell{
-				All:   metrics.MeanTurnaround(res, 0) / baseAll,
-				Large: metrics.MeanTurnaround(res, 100) / baseLarge,
+				All:   p.all / raw[0].all,
+				Large: p.large / raw[0].large,
 			}
 		}
 	}
@@ -287,22 +334,37 @@ type Fig8Data struct {
 	Cells map[string]map[string]float64
 }
 
-// Figure8Data computes normalized makespans for one trace.
+// Figure8Data computes normalized makespans for one trace. Cell layout
+// mirrors Figure7Data: Baseline first, then scenario-major scheme cells.
 func Figure8Data(cfg Config, tr *trace.Trace) (*Fig8Data, error) {
-	base, err := Run(tr, "Baseline", scenario.None{}, false)
+	scs := scenario.All()
+	raw := make([]float64, 1+len(scs)*len(IsolatingSchemes))
+	err := cfg.forEachCell(len(raw), func(i int) error {
+		if i == 0 {
+			base, err := Run(tr, "Baseline", scenario.None{}, false)
+			if err != nil {
+				return err
+			}
+			raw[0] = metrics.Makespan(base)
+			return nil
+		}
+		sc := scs[(i-1)/len(IsolatingSchemes)]
+		scheme := IsolatingSchemes[(i-1)%len(IsolatingSchemes)]
+		res, err := Run(tr, scheme, sc, false)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
+		}
+		raw[i] = metrics.Makespan(res)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	baseMk := metrics.Makespan(base)
 	d := &Fig8Data{Trace: tr.Name, Cells: map[string]map[string]float64{}}
-	for _, sc := range scenario.All() {
+	for si, sc := range scs {
 		d.Cells[sc.Name()] = map[string]float64{}
-		for _, scheme := range IsolatingSchemes {
-			res, err := Run(tr, scheme, sc, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
-			}
-			d.Cells[sc.Name()][scheme] = metrics.Makespan(res) / baseMk
+		for ki, scheme := range IsolatingSchemes {
+			d.Cells[sc.Name()][scheme] = raw[1+si*len(IsolatingSchemes)+ki] / raw[0]
 		}
 	}
 	return d, nil
@@ -334,26 +396,40 @@ func Figure8(cfg Config) error {
 }
 
 // Table3Data computes average scheduling time per job (seconds) for the four
-// representative experiments, smallest to largest cluster.
+// representative experiments, smallest to largest cluster. Wall-clock
+// measurement follows cfg.MeasureTime (the CLI sets it; determinism tests
+// leave it off). Timings are only faithful at Workers=1 — parallel cells
+// contend for the CPU.
 func Table3Data(cfg Config) (map[string]map[string]float64, []string, error) {
 	traces := []*trace.Trace{
 		trace.Synth16(cfg.scale()), trace.SepCab(cfg.scale()),
 		trace.ThunderLike(cfg.scale()), trace.Synth28(cfg.scale()),
 	}
 	names := make([]string, len(traces))
-	out := map[string]map[string]float64{}
 	for i, tr := range traces {
 		names[i] = tr.Name
-		for _, scheme := range IsolatingSchemes {
-			res, err := Run(tr, scheme, scenario.None{}, true)
-			if err != nil {
-				return nil, nil, err
-			}
-			if out[scheme] == nil {
-				out[scheme] = map[string]float64{}
-			}
-			out[scheme][tr.Name] = metrics.AvgSchedTime(res)
+	}
+	times := make([]float64, len(traces)*len(IsolatingSchemes))
+	err := cfg.forEachCell(len(times), func(i int) error {
+		tr := traces[i/len(IsolatingSchemes)]
+		scheme := IsolatingSchemes[i%len(IsolatingSchemes)]
+		res, err := Run(tr, scheme, scenario.None{}, cfg.MeasureTime)
+		if err != nil {
+			return err
 		}
+		times[i] = metrics.AvgSchedTime(res)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]map[string]float64{}
+	for i, t := range times {
+		scheme := IsolatingSchemes[i%len(IsolatingSchemes)]
+		if out[scheme] == nil {
+			out[scheme] = map[string]float64{}
+		}
+		out[scheme][names[i/len(IsolatingSchemes)]] = t
 	}
 	return out, names, nil
 }

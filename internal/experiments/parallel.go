@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The harness's unit of parallelism is the cell: one (trace, scheme,
+// scenario) simulation. Cells are fully independent — each Run builds its
+// own tree, allocator, and engine, and traces are generated up front and
+// only read — so they can execute on any worker in any order. Determinism
+// is preserved structurally: workers write into an index-addressed results
+// slice and the caller assembles output in cell order, so the bytes emitted
+// are identical for every worker count, including 1 (the serial loop).
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Workers
+}
+
+// forEachCell runs fn(0..n-1) on a bounded pool of workers(). Every cell is
+// attempted even if an earlier one fails; the lowest-index error is
+// returned, matching what a serial sweep would have reported first.
+func (c Config) forEachCell(n int, fn func(i int) error) error {
+	workers := c.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestWorkersDefaultsAndClamping(t *testing.T) {
+	if w := (Config{}).workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := (Config{Workers: -3}).workers(); w < 1 {
+		t.Fatalf("negative Workers gave %d", w)
+	}
+	if w := (Config{Workers: 7}).workers(); w != 7 {
+		t.Fatalf("explicit Workers gave %d", w)
+	}
+}
+
+func TestForEachCellCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		hits := make([]int, 100)
+		err := Config{Workers: workers}.forEachCell(len(hits), func(i int) error {
+			hits[i]++ // indices are distributed disjointly, so no lock needed
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestSerialAndParallelHarnessEmitIdenticalBytes is the harness's
+// determinism contract: the CSV emitters must produce the same bytes at
+// Workers=1 (plain serial loop) and at a worker count high enough to force
+// real interleaving. The text tables (All) are serial formatting over the
+// same Data functions these emitters call, so they are covered transitively.
+// Figure 8 is checked at the data layer on Thunder alone (see
+// TestFigure8DataSerialMatchesParallel): its Atlas runs cost two orders of
+// magnitude more than everything else combined and exercise no extra
+// harness code.
+func TestSerialAndParallelHarnessEmitIdenticalBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness twice")
+	}
+	const scale = 0.002
+	emitters := []struct {
+		name string
+		run  func(Config, io.Writer) error
+	}{
+		{"fig6", Figure6CSV},
+		{"table2", Table2CSV},
+		{"fig7", Figure7CSV},
+		{"table3", Table3CSV},
+	}
+	for _, em := range emitters {
+		t.Run(em.name, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			// MeasureTime stays false so Table 3 cells are deterministic.
+			if err := em.run(Config{Scale: scale, Workers: 1}, &serial); err != nil {
+				t.Fatal(err)
+			}
+			if err := em.run(Config{Scale: scale, Workers: 8}, &parallel); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+				t.Fatalf("serial and parallel output differ\nserial:\n%s\nparallel:\n%s",
+					serial.String(), parallel.String())
+			}
+		})
+	}
+}
+
+// TestFigure8DataSerialMatchesParallel pins Figure 8's fan-out (baseline as
+// cell 0, scenario-major scheme cells, normalization after the pool) at the
+// data layer, where worker count could matter.
+func TestFigure8DataSerialMatchesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates Thunder 25 times, twice")
+	}
+	tr := trace.ThunderLike(0.002)
+	serial, err := Figure8Data(Config{Scale: 0.002, Workers: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure8Data(Config{Scale: 0.002, Workers: 8}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel Figure 8 data differ\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

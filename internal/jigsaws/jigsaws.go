@@ -49,6 +49,15 @@ func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
 }
 
+// Begin implements alloc.TxnAllocator.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // FindPartition runs the Jigsaw search at the job's bandwidth class without
 // charging the result.
 func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Partition, bool) {

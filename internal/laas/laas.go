@@ -43,6 +43,15 @@ func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone(), budget: a.budget}
 }
 
+// Begin implements alloc.TxnAllocator.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // Allocate implements alloc.Allocator. The placement holds every node of
 // every allocated leaf — ceil(size/NodesPerLeaf)*NodesPerLeaf of them —
 // even though the job uses only size; the surplus is LaaS's internal

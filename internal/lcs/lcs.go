@@ -82,6 +82,17 @@ func (a *Allocator) Clone() alloc.Allocator {
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
 
+// Begin implements alloc.TxnAllocator. The search budget resets per Allocate
+// call and the bandwidth classes are pure functions of the job ID, so the
+// topology.State journal covers all mutable state.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // Allocate implements alloc.Allocator.
 func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
 	p, ok := a.FindPartition(job, size)

@@ -55,6 +55,15 @@ func (a *Allocator) Clone() alloc.Allocator {
 	return &Allocator{tree: a.tree, st: a.st.Clone()}
 }
 
+// Begin implements alloc.TxnAllocator.
+func (a *Allocator) Begin() { a.st.Begin() }
+
+// Rollback implements alloc.TxnAllocator.
+func (a *Allocator) Rollback() { a.st.Rollback() }
+
+// Commit implements alloc.TxnAllocator.
+func (a *Allocator) Commit() { a.st.Commit() }
+
 // leafOwnable reports whether every uplink of the leaf is free, i.e. no
 // other multi-leaf job has claimed the leaf. With capacity-1 links this is
 // exactly the state's untouched-uplink index.

@@ -1,7 +1,5 @@
 package topology
 
-import "fmt"
-
 // LeafUpRef identifies one leaf uplink: the link from global leaf Leaf to L2
 // switch L2 of the leaf's pod.
 type LeafUpRef struct {
@@ -112,15 +110,7 @@ func (p *Placement) Apply(s *State) {
 
 // applyConcrete takes the exact node p.Nodes[i] from the state.
 func (p *Placement) applyConcrete(s *State, i int) {
-	n := p.Nodes[i]
-	leafIdx := int(n) / s.Tree.NodesPerLeaf
-	slot := int(n) % s.Tree.NodesPerLeaf
-	if s.freeNode[leafIdx]&(1<<slot) == 0 {
-		panic(fmt.Sprintf("topology: node %d not free on re-apply", n))
-	}
-	s.freeNode[leafIdx] &^= 1 << slot
-	s.nodeOwner[n] = p.Job
-	s.noteNodesTaken(leafIdx, 1)
+	s.retakeNode(p.Nodes[i], p.Job)
 }
 
 // Release returns every node and link of the placement to the state.

@@ -42,6 +42,16 @@ import (
 // schedulers fall back to scanning only the links the indices mark as
 // partially used.
 //
+// # Transactions
+//
+// Begin/Rollback/Commit provide snapshot-free what-if analysis: Begin starts
+// an undo journal, the mutators append one entry per changed node or link
+// (O(changed entries), not O(tree)), Rollback replays the journal in reverse
+// through the same mutators — restoring residuals, ownership, and every
+// availability index exactly — and Commit discards the journal. The EASY
+// scheduler's reservation and backfill displacement checks run inside such
+// transactions on the live state instead of deep-cloning it.
+//
 // The zero State is not usable; construct with NewState. State is not safe
 // for concurrent use.
 type State struct {
@@ -70,7 +80,33 @@ type State struct {
 	// use it to pin the indexed implementation bit-for-bit against the scan
 	// implementation; production code never sets it.
 	scanQueries bool
+
+	// Undo-journal transaction support (Begin/Rollback/Commit). While a
+	// transaction is active every take/return mutator appends its delta to
+	// the journal in O(1); Rollback replays the journal in reverse through
+	// the same mutators, so the availability indices are restored by the
+	// exact inverse operations and never drift.
+	txnActive bool
+	journal   []journalEntry
 }
+
+// journalEntry is one recorded mutation. Node entries carry the owner needed
+// to re-take a returned node; link entries carry the signed residual delta
+// that was applied (negative = taken).
+type journalEntry struct {
+	op    uint8
+	idx   int32
+	delta int32
+	owner JobID
+}
+
+// Journal operation kinds.
+const (
+	opNodeTake   uint8 = iota // node idx was taken; undo by returning it
+	opNodeReturn              // node idx was returned; undo by re-taking for owner
+	opLeafUp                  // leafUp[idx] += delta; undo by applying -delta
+	opSpineUp                 // spineUp[idx] += delta; undo by applying -delta
+)
 
 // NewState returns a fully-free allocation state for the tree with the given
 // per-link capacity (use 1 for isolating schedulers).
@@ -118,9 +154,83 @@ func NewState(tree *FatTree, capacity int32) *State {
 	return s
 }
 
+// Begin starts an undo-journal transaction: every subsequent mutation is
+// recorded until Rollback discards it or Commit keeps it. Transactions do
+// not nest; Begin panics if one is already active.
+func (s *State) Begin() {
+	if s.txnActive {
+		panic("topology: Begin inside an active transaction")
+	}
+	s.txnActive = true
+}
+
+// InTxn reports whether an undo-journal transaction is active.
+func (s *State) InTxn() bool { return s.txnActive }
+
+// Rollback undoes every mutation since Begin, in reverse order, and ends the
+// transaction. Undo runs through the regular take/return mutators, so the
+// incremental availability indices are restored exactly. It panics if no
+// transaction is active.
+func (s *State) Rollback() {
+	if !s.txnActive {
+		panic("topology: Rollback without Begin")
+	}
+	// End the transaction first so the undo mutations are not re-journaled.
+	s.txnActive = false
+	for k := len(s.journal) - 1; k >= 0; k-- {
+		e := s.journal[k]
+		switch e.op {
+		case opNodeTake:
+			s.returnNode(NodeID(e.idx))
+		case opNodeReturn:
+			s.retakeNode(NodeID(e.idx), e.owner)
+		case opLeafUp:
+			leafIdx := int(e.idx) / s.Tree.L2PerPod
+			i := int(e.idx) % s.Tree.L2PerPod
+			if e.delta < 0 {
+				s.returnLeafUp(leafIdx, i, -e.delta)
+			} else {
+				s.takeLeafUp(leafIdx, i, e.delta)
+			}
+		case opSpineUp:
+			sp := int(e.idx) % s.Tree.SpinesPerGroup
+			rest := int(e.idx) / s.Tree.SpinesPerGroup
+			l2 := rest % s.Tree.L2PerPod
+			pod := rest / s.Tree.L2PerPod
+			if e.delta < 0 {
+				s.returnSpineUp(pod, l2, sp, -e.delta)
+			} else {
+				s.takeSpineUp(pod, l2, sp, e.delta)
+			}
+		}
+	}
+	s.journal = s.journal[:0]
+}
+
+// Commit keeps every mutation since Begin and ends the transaction. It
+// panics if no transaction is active.
+func (s *State) Commit() {
+	if !s.txnActive {
+		panic("topology: Commit without Begin")
+	}
+	s.txnActive = false
+	s.journal = s.journal[:0]
+}
+
+// record appends a journal entry while a transaction is active.
+func (s *State) record(op uint8, idx int, delta int32, owner JobID) {
+	if s.txnActive {
+		s.journal = append(s.journal, journalEntry{op: op, idx: int32(idx), delta: delta, owner: owner})
+	}
+}
+
 // Clone returns a deep copy of the state, for what-if searches such as EASY
-// reservation computation.
+// reservation computation. Cloning inside an active transaction would alias
+// two views of an unfinished mutation history, so it panics.
 func (s *State) Clone() *State {
+	if s.txnActive {
+		panic("topology: Clone inside an active transaction")
+	}
 	c := &State{
 		Tree:          s.Tree,
 		Capacity:      s.Capacity,
@@ -386,6 +496,7 @@ func (s *State) takeNodes(leafIdx, n int, job JobID) []NodeID {
 		m &^= 1 << slot
 		id := NodeID(leafIdx*s.Tree.NodesPerLeaf + slot)
 		s.nodeOwner[id] = job
+		s.record(opNodeTake, int(id), 0, 0)
 		out = append(out, id)
 	}
 	s.freeNode[leafIdx] = m
@@ -393,11 +504,26 @@ func (s *State) takeNodes(leafIdx, n int, job JobID) []NodeID {
 	return out
 }
 
+// retakeNode re-allocates a specific free node to a job, restoring the exact
+// ownership a rollback or concrete re-apply needs.
+func (s *State) retakeNode(n NodeID, job JobID) {
+	leafIdx := int(n) / s.Tree.NodesPerLeaf
+	slot := int(n) % s.Tree.NodesPerLeaf
+	if s.freeNode[leafIdx]&(1<<slot) == 0 {
+		panic(fmt.Sprintf("topology: node %d not free on re-take", n))
+	}
+	s.freeNode[leafIdx] &^= 1 << slot
+	s.nodeOwner[n] = job
+	s.record(opNodeTake, int(n), 0, 0)
+	s.noteNodesTaken(leafIdx, 1)
+}
+
 // returnNode frees a single node.
 func (s *State) returnNode(n NodeID) {
 	if s.nodeOwner[n] == 0 {
 		panic(fmt.Sprintf("topology: double free of node %d", n))
 	}
+	s.record(opNodeReturn, int(n), 0, s.nodeOwner[n])
 	s.nodeOwner[n] = 0
 	leafIdx := int(n) / s.Tree.NodesPerLeaf
 	slot := int(n) % s.Tree.NodesPerLeaf
@@ -410,6 +536,9 @@ func (s *State) takeLeafUp(leafIdx, i int, demand int32) {
 	r := &s.leafUp[leafIdx*s.Tree.L2PerPod+i]
 	if *r < demand {
 		panic(fmt.Sprintf("topology: leaf %d uplink %d over-allocated (%d < %d)", leafIdx, i, *r, demand))
+	}
+	if demand != 0 {
+		s.record(opLeafUp, leafIdx*s.Tree.L2PerPod+i, -demand, 0)
 	}
 	wasFull := *r == s.Capacity
 	*r -= demand
@@ -425,6 +554,9 @@ func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
 	if *r < demand {
 		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d over-allocated (%d < %d)", pod, l2, sp, *r, demand))
 	}
+	if demand != 0 {
+		s.record(opSpineUp, (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp, -demand, 0)
+	}
 	wasFull := *r == s.Capacity
 	*r -= demand
 	if wasFull && demand > 0 {
@@ -435,6 +567,9 @@ func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
 
 func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
 	r := &s.leafUp[leafIdx*s.Tree.L2PerPod+i]
+	if demand != 0 {
+		s.record(opLeafUp, leafIdx*s.Tree.L2PerPod+i, demand, 0)
+	}
 	*r += demand
 	if *r > s.Capacity {
 		panic(fmt.Sprintf("topology: leaf %d uplink %d residual %d exceeds capacity", leafIdx, i, *r))
@@ -447,6 +582,9 @@ func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
 
 func (s *State) returnSpineUp(pod, l2, sp int, demand int32) {
 	r := &s.spineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
+	if demand != 0 {
+		s.record(opSpineUp, (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp, demand, 0)
+	}
 	*r += demand
 	if *r > s.Capacity {
 		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d residual %d exceeds capacity", pod, l2, sp, *r))

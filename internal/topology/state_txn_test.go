@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mustPanic asserts that f panics; transactions fail loudly on misuse.
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestTxnMisusePanics(t *testing.T) {
+	tree := MustNew(8)
+	s := NewState(tree, 1)
+	mustPanic(t, "Rollback without Begin", func() { s.Rollback() })
+	mustPanic(t, "Commit without Begin", func() { s.Commit() })
+	s.Begin()
+	if !s.InTxn() {
+		t.Fatal("InTxn false after Begin")
+	}
+	mustPanic(t, "double Begin", func() { s.Begin() })
+	mustPanic(t, "Clone inside txn", func() { s.Clone() })
+	s.Commit()
+	if s.InTxn() {
+		t.Fatal("InTxn true after Commit")
+	}
+	// The panicking calls must not have corrupted the transaction flag.
+	s.Begin()
+	s.Rollback()
+	mustPanic(t, "Rollback after Rollback", func() { s.Rollback() })
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameState compares every ground-truth array and every availability index.
+func sameState(a, b *State) bool {
+	return reflect.DeepEqual(a.nodeOwner, b.nodeOwner) &&
+		reflect.DeepEqual(a.freeNode, b.freeNode) &&
+		reflect.DeepEqual(a.freeCnt, b.freeCnt) &&
+		reflect.DeepEqual(a.leafUp, b.leafUp) &&
+		reflect.DeepEqual(a.spineUp, b.spineUp) &&
+		a.freeTotal == b.freeTotal &&
+		reflect.DeepEqual(a.upFull, b.upFull) &&
+		reflect.DeepEqual(a.spineFull, b.spineFull) &&
+		reflect.DeepEqual(a.leafFull, b.leafFull) &&
+		reflect.DeepEqual(a.podFullLeaves, b.podFullLeaves) &&
+		reflect.DeepEqual(a.podFree, b.podFree) &&
+		reflect.DeepEqual(a.podSpineBusy, b.podSpineBusy)
+}
+
+// randomPlacement builds a placement over currently-free resources: a few
+// nodes on one leaf plus a random sample of full-residual uplinks, at the
+// state's full capacity so take/return always stay within bounds.
+func randomPlacement(rng *rand.Rand, s *State, job JobID) *Placement {
+	t := s.Tree
+	leaf := rng.Intn(t.Leaves())
+	free := s.FreeInLeaf(leaf)
+	if free == 0 {
+		return nil
+	}
+	pl := NewPlacement(job, s.Capacity)
+	pl.AddLeafNodes(leaf, 1+rng.Intn(free))
+	for i := 0; i < t.L2PerPod; i++ {
+		if rng.Intn(3) == 0 && s.LeafUpResidual(leaf, i) == s.Capacity {
+			pl.AddLeafUp(leaf, i)
+		}
+	}
+	pod := t.LeafPod(leaf)
+	for i := 0; i < t.L2PerPod; i++ {
+		for sp := 0; sp < t.SpinesPerGroup; sp++ {
+			if rng.Intn(8) == 0 && s.SpineUpResidual(pod, i, sp) == s.Capacity {
+				pl.AddSpineUp(pod, i, sp)
+			}
+		}
+	}
+	return pl
+}
+
+// TestTxnRollbackFuzz drives randomized apply/release histories inside
+// transactions and asserts that Rollback restores the pre-Begin state
+// bit-for-bit — availability indices included — and that CheckInvariants
+// passes after every rollback. Commit paths are interleaved so the live set
+// evolves between transactions.
+func TestTxnRollbackFuzz(t *testing.T) {
+	tree := MustNew(8)
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(tree, 1)
+		var live []*Placement
+		id := JobID(1)
+
+		for round := 0; round < 60; round++ {
+			before := s.Clone()
+			commit := rng.Intn(3) == 0
+			s.Begin()
+
+			var applied []*Placement
+			released := map[int]bool{}
+			for op := 0; op < 1+rng.Intn(8); op++ {
+				switch {
+				case rng.Intn(2) == 0:
+					if pl := randomPlacement(rng, s, id); pl != nil {
+						pl.Apply(s)
+						applied = append(applied, pl)
+						id++
+					}
+				case len(live) > 0:
+					// Release a pre-transaction placement; rollback must
+					// re-take its exact nodes for its original owner.
+					k := rng.Intn(len(live))
+					if !released[k] {
+						live[k].Release(s)
+						released[k] = true
+					}
+				case len(applied) > 0:
+					k := rng.Intn(len(applied))
+					if applied[k] != nil {
+						applied[k].Release(s)
+						applied[k] = nil
+					}
+				}
+			}
+
+			if commit {
+				s.Commit()
+				// The committed history is now the live set.
+				var next []*Placement
+				for k, pl := range live {
+					if !released[k] {
+						next = append(next, pl)
+					}
+				}
+				for _, pl := range applied {
+					if pl != nil {
+						next = append(next, pl)
+					}
+				}
+				live = next
+			} else {
+				s.Rollback()
+				if !sameState(s, before) {
+					t.Fatalf("seed %d round %d: rollback did not restore the pre-Begin state", seed, round)
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+		}
+
+		// Drain: releasing the surviving placements restores a pristine state.
+		for _, pl := range live {
+			pl.Release(s)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d drain: %v", seed, err)
+		}
+		if s.FreeNodes() != tree.Nodes() {
+			t.Fatalf("seed %d: %d free after drain, want %d", seed, s.FreeNodes(), tree.Nodes())
+		}
+	}
+}
+
+// TestTxnLinkSharingRollback exercises fractional demands (capacity > 1,
+// partial residual deltas) through a rollback.
+func TestTxnLinkSharingRollback(t *testing.T) {
+	tree := MustNew(8)
+	s := NewState(tree, 40)
+	pl := NewPlacement(1, 15)
+	pl.AddLeafNodes(0, 2)
+	pl.AddLeafUp(0, 1)
+	pl.AddSpineUp(0, 1, 2)
+	pl.Apply(s)
+
+	before := s.Clone()
+	s.Begin()
+	pl2 := NewPlacement(2, 20)
+	pl2.AddLeafNodes(0, 1)
+	pl2.AddLeafUp(0, 1) // shares the partially-used link: residual 25 -> 5
+	pl2.Apply(s)
+	pl.Release(s)
+	s.Rollback()
+	if !sameState(s, before) {
+		t.Fatal("rollback did not restore the link-sharing state")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	pl.Release(s)
+	if s.FreeNodes() != tree.Nodes() {
+		t.Fatal("drain incomplete")
+	}
+}
