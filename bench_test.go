@@ -227,6 +227,61 @@ func BenchmarkEngineBackfillHeavy(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkEngineQueueHeavyHomogeneous measures the schedule pass against a
+// deep backlog of same-size jobs whose placement search genuinely fails: 128
+// long-running size-7 jobs fragment the 1024-node machine so every leaf
+// keeps one free node (128 free nodes total), and the size-12 jobs that then
+// arrive are count-feasible — no cheap free-node precheck rejects them — but
+// shape-infeasible, so each backfill probe pays a full exhaustive search.
+// Every arrival rescans the backfill window over identical candidates; a
+// trickle of cancellations keeps the state version moving. This is the
+// regime the engine's negative-feasibility cache targets: one failing search
+// per state version instead of one per candidate per pass. Run with a fixed
+// -benchtime count when comparing builds — the backlog grows with N.
+func BenchmarkEngineQueueHeavyHomogeneous(b *testing.B) {
+	tree := topology.MustNew(16) // 1024 nodes: 16 pods x 8 leaves x 8 nodes
+	eng, err := NewEngine(EngineConfig{Alloc: core.NewAllocator(tree)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Fragmentation backbone: one size-7 job per leaf (dense-first packing
+	// puts each on its own leaf), leaving every leaf with 1 free node and 1
+	// free uplink. Any size in 9..128 is then count-feasible but has no
+	// legal shape until leaves are freed.
+	nLeaves := int64(tree.Leaves())
+	for id := int64(1); id <= nLeaves; id++ {
+		if err := eng.Submit(Job{ID: id, Size: 7, Arrival: 0, Runtime: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.AdvanceTo(0)
+	if s := eng.Snapshot(); s.FreeNodes != tree.Leaves() || s.QueueDepth != 0 {
+		b.Fatalf("backbone did not fragment as expected: %+v", s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrival := float64(i)
+		eng.AdvanceTo(arrival)
+		if err := eng.Submit(Job{ID: nLeaves + int64(i) + 1, Size: 12, Arrival: arrival, Runtime: 10}); err != nil {
+			b.Fatal(err)
+		}
+		// Periodically cancel a backbone job: the release invalidates any
+		// cached verdicts and can open a whole leaf, letting some of the
+		// backlog through — the cache must keep up with a moving state.
+		if i%64 == 63 && int64(i/64) < nLeaves {
+			if _, err := eng.Cancel(int64(i/64) + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for {
+		if _, ok := eng.Step(); !ok {
+			break
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkRoutePermutation measures the constructive rearrangeable
 // non-blocking router on a multi-tree partition.
 func BenchmarkRoutePermutation(b *testing.B) {

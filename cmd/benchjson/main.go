@@ -1,0 +1,141 @@
+// Command benchjson condenses `go test -bench` output into a small JSON
+// document of per-benchmark medians, for checking performance numbers into
+// the repository (BENCH_<n>.json; see EXPERIMENTS.md's benchmark workflow).
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchmem -count 5 ./... | benchjson > BENCH_n.json
+//
+// It reads benchmark result lines from stdin, groups repeated runs (-count)
+// by benchmark name with the -N CPU suffix stripped, and emits, per
+// benchmark, the median ns/op and — when -benchmem was set — the median
+// B/op and allocs/op. Non-benchmark lines are ignored, so raw `go test`
+// output pipes straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is the JSON value emitted per benchmark. Medians are taken
+// independently per metric across the repeated runs.
+type result struct {
+	Runs     int      `json:"runs"`
+	NsPerOp  float64  `json:"ns_per_op"`
+	BPerOp   *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSearch/radix=16/two-level-8   620492   182.4 ns/op   36 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	type samples struct {
+		ns, b, allocs []float64
+	}
+	byName := map[string]*samples{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		// Strip the GOMAXPROCS suffix so counts group across machines.
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := byName[name]
+		if s == nil {
+			s = &samples{}
+			byName[name] = s
+			order = append(order, name)
+		}
+		// The tail is "value unit" pairs: ns/op, then optional -benchmem
+		// and ReportMetric columns.
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "B/op":
+				s.b = append(s.b, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	out := make(map[string]result, len(byName))
+	for name, s := range byName {
+		if len(s.ns) == 0 {
+			continue
+		}
+		r := result{Runs: len(s.ns), NsPerOp: median(s.ns)}
+		if len(s.b) > 0 {
+			v := median(s.b)
+			r.BPerOp = &v
+		}
+		if len(s.allocs) > 0 {
+			v := median(s.allocs)
+			r.AllocsOp = &v
+		}
+		out[name] = r
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Emit in first-seen order via an ordered re-marshal: build an
+	// intermediate with json.RawMessage values.
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	n := 0
+	for _, name := range order {
+		r, ok := out[name]
+		if !ok {
+			continue
+		}
+		if n > 0 {
+			buf.WriteString(",\n")
+		}
+		n++
+		kb, _ := json.Marshal(name)
+		vb, _ := json.Marshal(r)
+		fmt.Fprintf(&buf, "  %s: %s", kb, vb)
+	}
+	buf.WriteString("\n}\n")
+	os.Stdout.WriteString(buf.String())
+}

@@ -60,3 +60,36 @@ type TxnAllocator interface {
 	// Commit keeps every mutation since Begin and ends the transaction.
 	Commit()
 }
+
+// MonotoneFeasibility is the optional declaration that an allocator's
+// feasibility is monotone in the job size: if Allocate fails for size N
+// against some state, it fails for every size greater than N against the
+// same state. Node-count-only policies satisfy it — Baseline (feasible iff
+// size <= free nodes) and LaaS (feasible iff the rounded-up whole-leaf count
+// is placeable; dropping leaves from any legal whole-leaf placement yields a
+// legal smaller one). Shape-sensitive policies must NOT declare it: under
+// Jigsaw or TA a small job can fail on link or single-leaf constraints while
+// a larger whole-leaf job still fits, so only exact-size negative caching is
+// sound for them (see DESIGN.md §11).
+//
+// Schedulers use the declaration to threshold-prune: once size N fails, every
+// queued candidate of size >= N is skipped until the state changes.
+type MonotoneFeasibility interface {
+	Allocator
+	// MonotoneFeasibility is a marker; implementations do nothing.
+	MonotoneFeasibility()
+}
+
+// FeasibilityClasser is the optional refinement for allocators whose
+// Allocate verdict depends on the requesting job beyond its size. The
+// link-sharing policies (LC+S, Jigsaw+S) derive a per-job bandwidth demand
+// from the job ID, so two same-size jobs can receive different verdicts
+// against the same state; negative feasibility caches must key on
+// (size, class), not size alone. Allocators without this extension promise
+// that Allocate feasibility is a function of (state, size) only.
+type FeasibilityClasser interface {
+	Allocator
+	// FeasibilityClass returns the discriminator that, together with the
+	// size, determines the job's Allocate verdict against a fixed state.
+	FeasibilityClass(job topology.JobID) int32
+}

@@ -69,6 +69,16 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 	return pl, true
 }
 
+// FeasibilityClass implements alloc.FeasibilityClasser: the baseline's
+// verdict depends only on the requested size, so schedulers may memoize
+// negative verdicts per exact size.
+func (a *Allocator) FeasibilityClass(topology.JobID) int32 { return 0 }
+
+// MonotoneFeasibility implements alloc.MonotoneFeasibility: a job is
+// feasible iff size <= free nodes, so failure at size N implies failure at
+// every larger size against the same state.
+func (a *Allocator) MonotoneFeasibility() {}
+
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
 

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// BenchmarkSearch measures the allocation search kernels against the reused
+// Scratch across tree sizes. The two-level and three-level cases run on an
+// empty machine (hit on the first viable factorization); the miss case runs
+// on a machine fragmented so that no whole leaf is free, forcing a full
+// exhaustive scan — the shape the engine's feasibility cache exists to
+// avoid repeating. allocs/op must be 0 for all of them in steady state.
+func BenchmarkSearch(b *testing.B) {
+	for _, radix := range []int{16, 32, 64} {
+		tree := topology.MustNew(radix)
+		podNodes := tree.LeavesPerPod * tree.NodesPerLeaf
+
+		empty := topology.NewState(tree, 1)
+		cases := []struct {
+			name string
+			st   *topology.State
+			size int
+			ok   bool
+		}{
+			// Fits one pod minus a few nodes: two-level with a remainder leaf.
+			{"two-level", empty, podNodes - 3, true},
+			// Spans several pods plus a remainder tree: three-level search.
+			{"three-level", empty, 3*podNodes + tree.NodesPerLeaf, true},
+		}
+
+		// Fragment a separate state: one node taken on every leaf leaves no
+		// whole leaf free, so a full-pod request fails only after both passes
+		// exhaust every factorization.
+		frag := topology.NewState(tree, 1)
+		pl := topology.NewPlacement(1, 1)
+		for leaf := 0; leaf < tree.Leaves(); leaf++ {
+			pl.AddLeafNodes(leaf, 1)
+		}
+		pl.Apply(frag)
+		cases = append(cases, struct {
+			name string
+			st   *topology.State
+			size int
+			ok   bool
+		}{"miss", frag, podNodes, false})
+
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("radix=%d/%s", radix, c.name), func(b *testing.B) {
+				sc := &core.Scratch{}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, ok := core.Search(c.st, 1, c.size, false, core.DefaultSearchBudget, sc)
+					if ok != c.ok {
+						b.Fatalf("size %d: ok = %v, want %v", c.size, ok, c.ok)
+					}
+				}
+			})
+		}
+	}
+}

@@ -61,21 +61,21 @@ func TestFindTwoLevelEdgeCases(t *testing.T) {
 	st := topology.NewState(tree, 1)
 
 	// Degenerate parameters are rejected.
-	if _, ok := core.FindTwoLevel(st, 1, 0, 0, 2, 0); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 0, 2, 0, nil); ok {
 		t.Fatal("LT=0 must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 0, 0); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 0, 0, nil); ok {
 		t.Fatal("nL=0 must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 2, 2); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 2, 2, nil); ok {
 		t.Fatal("nrL >= nL must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 5, 1, 0); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 5, 1, 0, nil); ok {
 		t.Fatal("more leaves than the pod has must fail")
 	}
 
 	// Largest single-pod allocation: all leaves, all nodes.
-	p, ok := core.FindTwoLevel(st, 1, 2, tree.LeavesPerPod, tree.NodesPerLeaf, 0)
+	p, ok := core.FindTwoLevel(st, 1, 2, tree.LeavesPerPod, tree.NodesPerLeaf, 0, nil)
 	if !ok {
 		t.Fatal("full pod must fit")
 	}
@@ -93,18 +93,18 @@ func TestFindThreeLevelEdgeCases(t *testing.T) {
 	st := topology.NewState(tree, 1)
 	steps := core.DefaultSearchBudget
 
-	if _, ok := core.FindThreeLevel(st, 1, 0, 1, 0, 0, &steps); ok {
+	if _, ok := core.FindThreeLevel(st, 1, 0, 1, 0, 0, &steps, nil); ok {
 		t.Fatal("T=0 must fail")
 	}
-	if _, ok := core.FindThreeLevel(st, 1, 1, tree.LeavesPerPod+1, 0, 0, &steps); ok {
+	if _, ok := core.FindThreeLevel(st, 1, 1, tree.LeavesPerPod+1, 0, 0, &steps, nil); ok {
 		t.Fatal("LT beyond pod must fail")
 	}
 	// Remainder tree at least as large as full trees is illegal.
-	if _, ok := core.FindThreeLevel(st, 1, 1, 2, 2, 0, &steps); ok {
+	if _, ok := core.FindThreeLevel(st, 1, 1, 2, 2, 0, &steps, nil); ok {
 		t.Fatal("LrT == LT with nrL=0 must fail")
 	}
 	// Whole machine.
-	p, ok := core.FindThreeLevel(st, 1, tree.Pods, tree.LeavesPerPod, 0, 0, &steps)
+	p, ok := core.FindThreeLevel(st, 1, tree.Pods, tree.LeavesPerPod, 0, 0, &steps, nil)
 	if !ok {
 		t.Fatal("whole machine must fit")
 	}
@@ -117,7 +117,7 @@ func TestFindThreeLevelEdgeCases(t *testing.T) {
 	// Remainder tree that is only a remainder leaf.
 	st2 := topology.NewState(tree, 1)
 	steps = core.DefaultSearchBudget
-	p2, ok := core.FindThreeLevel(st2, 1, 2, 2, 0, 3, &steps)
+	p2, ok := core.FindThreeLevel(st2, 1, 2, 2, 0, 3, &steps, nil)
 	if !ok {
 		t.Fatal("remainder-leaf-only tree must fit on an empty machine")
 	}
@@ -134,7 +134,7 @@ func TestSearchBudgetExhaustion(t *testing.T) {
 	tree := topology.MustNew(8)
 	st := topology.NewState(tree, 1)
 	steps := 1
-	if _, ok := core.FindThreeLevel(st, 1, 4, 4, 0, 0, &steps); ok {
+	if _, ok := core.FindThreeLevel(st, 1, 4, 4, 0, 0, &steps, nil); ok {
 		t.Fatal("a one-step budget cannot finish a four-tree search")
 	}
 }

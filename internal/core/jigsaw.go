@@ -25,6 +25,10 @@ type Allocator struct {
 	// (fewest leaves, the default) to sparse-first; exposed for the
 	// ablation benchmarks.
 	SparseFirst bool
+
+	// scratch backs the allocator's searches; Clone deliberately gives the
+	// clone a fresh zero Scratch (a Scratch must never be shared).
+	scratch Scratch
 }
 
 // NewAllocator returns a Jigsaw allocator for a pristine tree.
@@ -62,9 +66,14 @@ func (a *Allocator) Commit() { a.st.Commit() }
 // FindPartition searches for a Jigsaw-legal partition of the given size
 // without charging it. It implements get_allocation of Algorithm 1: all
 // two-level (single-subtree) factorizations are tried first, then
-// three-level whole-leaf factorizations.
+// three-level whole-leaf factorizations. The returned partition is an
+// independent copy the caller may retain.
 func (a *Allocator) FindPartition(size int) (*partition.Partition, bool) {
-	return Search(a.st, 1, size, a.SparseFirst, a.budget)
+	p, ok := Search(a.st, 1, size, a.SparseFirst, a.budget, &a.scratch)
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
 }
 
 // Search runs the full Jigsaw allocation search (Algorithm 1) against an
@@ -72,7 +81,10 @@ func (a *Allocator) FindPartition(size int) (*partition.Partition, bool) {
 // Jigsaw scheduler uses demand 1 on capacity-1 links; the Jigsaw+S variant
 // (Section 5.2.3 notes the link-sharing relaxation composes with Jigsaw)
 // passes fractional demands against shared-capacity links.
-func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget int) (*partition.Partition, bool) {
+//
+// The returned partition aliases sc (valid until sc's next search); pass a
+// nil sc for a single-use scratch.
+func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget int, sc *Scratch) (*partition.Partition, bool) {
 	t := st.Tree
 	if size < 1 || size > st.FreeNodes() {
 		return nil, false
@@ -98,7 +110,7 @@ func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget
 			continue
 		}
 		for pod := 0; pod < t.Pods; pod++ {
-			if p, ok := FindTwoLevel(st, demand, pod, lt, nL, nrL); ok {
+			if p, ok := FindTwoLevel(st, demand, pod, lt, nL, nrL, sc); ok {
 				return p, true
 			}
 		}
@@ -125,7 +137,7 @@ func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget
 			continue
 		}
 		steps := budget
-		if p, ok := FindThreeLevel(st, demand, T, lt, nrT/nL, nrT%nL, &steps); ok {
+		if p, ok := FindThreeLevel(st, demand, T, lt, nrT/nL, nrT%nL, &steps, sc); ok {
 			return p, true
 		}
 	}
@@ -133,9 +145,11 @@ func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget
 }
 
 // Allocate implements alloc.Allocator: it finds a partition, converts it to
-// a placement, and charges it against the state.
+// a placement, and charges it against the state. The scratch-backed
+// partition is consumed immediately (Placement copies what it needs), so no
+// clone is taken on this hot path.
 func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
-	p, ok := a.FindPartition(size)
+	p, ok := Search(a.st, 1, size, a.SparseFirst, a.budget, &a.scratch)
 	if !ok {
 		return nil, false
 	}
@@ -143,6 +157,11 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 	pl.Apply(a.st)
 	return pl, true
 }
+
+// FeasibilityClass implements alloc.FeasibilityClasser: Jigsaw's verdict for
+// a fixed state depends only on the requested size (every job searches at
+// demand 1), so schedulers may memoize negative verdicts per exact size.
+func (a *Allocator) FeasibilityClass(topology.JobID) int32 { return 0 }
 
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }

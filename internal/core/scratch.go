@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// leafInfo is the per-leaf view the two-level search works from: the leaf's
+// free-uplink mask at the search demand and its free-node count.
+type leafInfo struct {
+	up   uint64
+	free int
+}
+
+// Scratch holds every buffer the search kernels need, so a steady-state
+// search allocates nothing: the per-call info/freeLeaves/spine slices and
+// lowestBits results that used to be made fresh on every candidate of every
+// scheduling cycle live here instead, sized once per tree geometry.
+//
+// The recursive kernels are methods on Scratch rather than closures so that
+// recursion carries no heap-allocated environment, and a successful search
+// builds its partition directly into the result buffers below.
+//
+// Aliasing contract: the *partition.Partition a search returns points into
+// the Scratch it ran on and is valid only until the next search on that
+// Scratch. Callers that consume the partition immediately (convert it to a
+// topology.Placement, verify it, read it) need nothing special; callers that
+// retain it must copy it first with Partition.Clone.
+//
+// A Scratch must not be shared between goroutines, and each allocator owns
+// its own (allocator Clone methods deliberately give the clone a fresh zero
+// Scratch). The zero value is ready to use; buffers are sized lazily to the
+// tree of the first search and resized if a different tree is passed.
+type Scratch struct {
+	tree *topology.FatTree
+
+	// In-flight search parameters, set by FindTwoLevel/FindThreeLevel.
+	st     *topology.State
+	demand int32
+	pod    int // two-level: the pod under search
+	lt     int // full leaves per tree (LT)
+	nl     int // nodes per full leaf (three-level: tree.NodesPerLeaf)
+	nrl    int // remainder-leaf node count
+	nTrees int // three-level: full trees T
+	lrt    int // three-level: full leaves in the remainder tree
+	steps  int // three-level: remaining backtracking budget
+
+	// Two-level buffers.
+	info    []leafInfo
+	chosenL []int
+	inUseL  []bool
+
+	// Three-level buffers. freeLeaves and spine are flat with strides
+	// LeavesPerPod and L2PerPod respectively; nFree counts the valid
+	// freeLeaves entries per pod.
+	freeLeaves []int
+	nFree      []int
+	spine      []uint64
+	f          []uint64 // running per-L2 spine intersection
+	chosenP    []int
+	inUseP     []bool
+
+	// Result buffers: the partition a successful search returns points into
+	// these (see the aliasing contract above). spineInts is the arena the
+	// spineSet/spineSetR map values are carved from.
+	s, sr     []int
+	leafBuf   []partition.LeafAlloc
+	treeBuf   []partition.TreeAlloc
+	spineSet  map[int][]int
+	spineSetR map[int][]int
+	spineInts []int
+	part      partition.Partition
+}
+
+// ensure sizes the buffers for the tree. Buffer capacities cover the worst
+// case for their geometry, so no search on the same tree grows them.
+func (sc *Scratch) ensure(t *topology.FatTree) {
+	if sc.tree == t {
+		return
+	}
+	sc.tree = t
+	sc.info = make([]leafInfo, t.LeavesPerPod)
+	sc.chosenL = make([]int, 0, t.LeavesPerPod)
+	sc.inUseL = make([]bool, t.LeavesPerPod)
+	sc.freeLeaves = make([]int, t.Pods*t.LeavesPerPod)
+	sc.nFree = make([]int, t.Pods)
+	sc.spine = make([]uint64, t.Pods*t.L2PerPod)
+	sc.f = make([]uint64, t.L2PerPod)
+	sc.chosenP = make([]int, 0, t.Pods)
+	sc.inUseP = make([]bool, t.Pods)
+	sc.s = make([]int, 0, t.L2PerPod)
+	sc.sr = make([]int, 0, t.L2PerPod)
+	sc.leafBuf = make([]partition.LeafAlloc, 0, t.Leaves()+t.Pods)
+	sc.treeBuf = make([]partition.TreeAlloc, 0, t.Pods)
+	sc.spineSet = make(map[int][]int, t.L2PerPod)
+	sc.spineSetR = make(map[int][]int, t.L2PerPod)
+	// Worst case per L2 index: LT spines for the full set, the remainder
+	// selection, and the full set again while it is being assembled.
+	sc.spineInts = make([]int, 0, 3*t.L2PerPod*t.SpinesPerGroup)
+}
+
+// appendLowestBits appends the indices of the lowest n set bits of m to dst
+// (in ascending order). It panics if m has fewer than n bits set; callers
+// establish that invariant first.
+func appendLowestBits(dst []int, m uint64, n int) []int {
+	for ; n > 0; n-- {
+		i := bits.TrailingZeros64(m)
+		if i == 64 {
+			panic("core: appendLowestBits underflow")
+		}
+		dst = append(dst, i)
+		m &^= 1 << i
+	}
+	return dst
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// TestSearchScratchReuseMatchesFresh is the differential pin for the
+// zero-allocation search kernels: a long-lived Scratch reused across many
+// searches interleaved with state churn must produce exactly the partition a
+// single-use scratch produces — same success verdict, same shape, same spine
+// sets, and (for the three-level pass) the same backtracking-budget spend.
+// Any buffer that survives a search without being reset shows up here as a
+// divergence.
+func TestSearchScratchReuseMatchesFresh(t *testing.T) {
+	for _, radix := range []int{4, 8} {
+		tree := topology.MustNew(radix)
+		rng := rand.New(rand.NewSource(int64(radix)))
+		a := core.NewAllocator(tree) // drives the state churn
+		st := a.State()
+		sc := &core.Scratch{} // the reused scratch under test
+
+		var live []*topology.Placement
+		id := topology.JobID(1)
+		for step := 0; step < 250; step++ {
+			// Churn the state: mostly allocate, sometimes release, so the
+			// probes below see fragmented, partially-full machines.
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				a.Release(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else if st.FreeNodes() > 0 {
+				size := 1 + rng.Intn(st.FreeNodes())
+				if pl, ok := a.Allocate(id, size); ok {
+					live = append(live, pl)
+					id++
+				}
+			}
+
+			for probe := 0; probe < 4; probe++ {
+				size := 1 + rng.Intn(tree.Nodes())
+				sparse := rng.Intn(2) == 1
+				p1, ok1 := core.Search(st, 1, size, sparse, core.DefaultSearchBudget, sc)
+				p2, ok2 := core.Search(st, 1, size, sparse, core.DefaultSearchBudget, nil)
+				if ok1 != ok2 {
+					t.Fatalf("radix %d step %d: size %d sparse=%v: reused scratch ok=%v, fresh ok=%v",
+						radix, step, size, sparse, ok1, ok2)
+				}
+				if !ok1 {
+					continue
+				}
+				if !reflect.DeepEqual(p1, p2) {
+					t.Fatalf("radix %d step %d: size %d sparse=%v: partitions diverge\nreused: %+v\nfresh:  %+v",
+						radix, step, size, sparse, p1, p2)
+				}
+				if err := p1.Verify(tree); err != nil {
+					t.Fatalf("radix %d step %d: size %d: invalid partition: %v", radix, step, size, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFindThreeLevelScratchBudgetParity pins that the reused scratch spends
+// the backtracking budget identically to a fresh one: the remaining-steps
+// value after a search is part of the policies' observable behavior (LC+S
+// and Jigsaw both thread a budget through), so a scratch that changes the
+// exploration order would silently change schedules.
+func TestFindThreeLevelScratchBudgetParity(t *testing.T) {
+	tree := topology.MustNew(8)
+	rng := rand.New(rand.NewSource(7))
+	a := core.NewAllocator(tree)
+	st := a.State()
+	sc := &core.Scratch{}
+
+	id := topology.JobID(1)
+	for step := 0; step < 120; step++ {
+		if st.FreeNodes() > 8 {
+			if _, ok := a.Allocate(id, 1+rng.Intn(8)); ok {
+				id++
+			}
+		}
+		nl := tree.NodesPerLeaf
+		T := 1 + rng.Intn(tree.Pods)
+		lt := 1 + rng.Intn(tree.LeavesPerPod)
+		lrt := rng.Intn(lt)
+		nrl := rng.Intn(nl)
+		s1, s2 := core.DefaultSearchBudget, core.DefaultSearchBudget
+		p1, ok1 := core.FindThreeLevel(st, 1, T, lt, lrt, nrl, &s1, sc)
+		p2, ok2 := core.FindThreeLevel(st, 1, T, lt, lrt, nrl, &s2, nil)
+		if ok1 != ok2 || s1 != s2 {
+			t.Fatalf("step %d (T=%d lt=%d lrt=%d nrl=%d): reused (ok=%v steps=%d) vs fresh (ok=%v steps=%d)",
+				step, T, lt, lrt, nrl, ok1, s1, ok2, s2)
+		}
+		if ok1 && !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("step %d: three-level partitions diverge\nreused: %+v\nfresh:  %+v", step, p1, p2)
+		}
+	}
+}
+
+// TestPartitionCloneSurvivesScratchReuse pins the aliasing contract: a
+// partition returned by a search is only valid until the scratch's next
+// search, but its Clone must be a fully independent copy that later searches
+// cannot corrupt.
+func TestPartitionCloneSurvivesScratchReuse(t *testing.T) {
+	tree := topology.MustNew(8)
+	a := core.NewAllocator(tree)
+	st := a.State()
+	// Fragment the machine a little so the probe size needs a multi-tree
+	// partition with spine sets (the scratch's arena-backed buffers).
+	for i := 0; i < 5; i++ {
+		if _, ok := a.Allocate(topology.JobID(i+1), 3); !ok {
+			t.Fatalf("setup allocation %d failed", i)
+		}
+	}
+
+	sc := &core.Scratch{}
+	const size = 77
+	p, ok := core.Search(st, 1, size, false, core.DefaultSearchBudget, sc)
+	if !ok {
+		t.Fatalf("no partition of size %d on a lightly-loaded machine", size)
+	}
+	clone := p.Clone()
+
+	// Hammer the same scratch with searches of every other size, overwriting
+	// every result buffer the original partition aliased.
+	for s := 1; s <= tree.Nodes(); s++ {
+		core.Search(st, 1, s, s%2 == 0, core.DefaultSearchBudget, sc)
+	}
+
+	fresh, ok := core.Search(st, 1, size, false, core.DefaultSearchBudget, nil)
+	if !ok {
+		t.Fatal("fresh recomputation failed on an unchanged state")
+	}
+	if !reflect.DeepEqual(clone, fresh) {
+		t.Fatalf("clone corrupted by later searches on its scratch\nclone: %+v\nfresh: %+v", clone, fresh)
+	}
+	if err := clone.Verify(tree); err != nil {
+		t.Fatalf("clone no longer verifies: %v", err)
+	}
+}

@@ -7,7 +7,9 @@
 //
 // The two search primitives, FindTwoLevel and FindThreeLevel, are exported
 // because the LaaS comparison scheme (internal/laas) reuses them at
-// whole-leaf granularity.
+// whole-leaf granularity. Both run on a caller-supplied Scratch (nil for a
+// throwaway one) and return partitions aliasing it; see the Scratch
+// aliasing contract.
 package core
 
 import (
@@ -17,21 +19,6 @@ import (
 	"repro/internal/topology"
 )
 
-// lowestBits returns the indices of the lowest n set bits of m. It panics if
-// m has fewer than n bits set; callers establish that invariant first.
-func lowestBits(m uint64, n int) []int {
-	out := make([]int, 0, n)
-	for len(out) < n {
-		i := bits.TrailingZeros64(m)
-		if i == 64 {
-			panic("core: lowestBits underflow")
-		}
-		out = append(out, i)
-		m &^= 1 << i
-	}
-	return out
-}
-
 // FindTwoLevel searches one pod for a two-level allocation of LT leaves with
 // nL nodes each plus an optional remainder leaf with nrL < nL nodes, such
 // that the chosen full leaves share nL free uplinks to a common set S of L2
@@ -39,7 +26,10 @@ func lowestBits(m uint64, n int) []int {
 // conditions of Section 3.2 restricted to a single tree). Links must have
 // residual capacity of at least demand. It returns the first partition
 // found, scanning leaves in index order with exhaustive backtracking.
-func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*partition.Partition, bool) {
+//
+// The returned partition aliases sc (valid until sc's next search); pass a
+// nil sc for a single-use scratch.
+func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int, sc *Scratch) (*partition.Partition, bool) {
 	t := st.Tree
 	needLeaves := LT
 	if nrL > 0 {
@@ -53,96 +43,95 @@ func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*part
 	if st.FreeInPod(pod) < LT*nL+nrL {
 		return nil, false
 	}
-
-	type leafInfo struct {
-		up   uint64
-		free int
+	if sc == nil {
+		sc = &Scratch{}
 	}
-	info := make([]leafInfo, t.LeavesPerPod)
+	sc.ensure(t)
+	sc.st, sc.demand = st, demand
+	sc.pod, sc.lt, sc.nl, sc.nrl = pod, LT, nL, nrL
 	for l := 0; l < t.LeavesPerPod; l++ {
 		leafIdx := t.LeafIndex(pod, l)
-		info[l] = leafInfo{up: st.LeafUpMask(leafIdx, demand), free: st.FreeInLeaf(leafIdx)}
+		sc.info[l] = leafInfo{up: st.LeafUpMask(leafIdx, demand), free: st.FreeInLeaf(leafIdx)}
 	}
+	sc.chosenL = sc.chosenL[:0]
+	clear(sc.inUseL)
+	return sc.twoRec(0, t.HalfMask())
+}
 
-	chosen := make([]int, 0, LT)
-	inUse := make([]bool, t.LeavesPerPod)
+// twoRec extends the chosen-leaf set with leaves from start onward, keeping
+// the running uplink intersection m.
+func (sc *Scratch) twoRec(start int, m uint64) (*partition.Partition, bool) {
+	t := sc.tree
+	if len(sc.chosenL) == sc.lt {
+		return sc.twoFinish(m)
+	}
+	// Prune: not enough leaves left to reach LT.
+	for l := start; l <= t.LeavesPerPod-(sc.lt-len(sc.chosenL)); l++ {
+		if sc.info[l].free < sc.nl {
+			continue
+		}
+		nm := m & sc.info[l].up
+		if bits.OnesCount64(nm) < sc.nl {
+			continue
+		}
+		sc.chosenL = append(sc.chosenL, l)
+		sc.inUseL[l] = true
+		if p, ok := sc.twoRec(l+1, nm); ok {
+			return p, true
+		}
+		sc.inUseL[l] = false
+		sc.chosenL = sc.chosenL[:len(sc.chosenL)-1]
+	}
+	return nil, false
+}
 
-	// finish tries to complete the allocation once LT full leaves are
-	// chosen with common uplink mask m.
-	finish := func(m uint64) (*partition.Partition, bool) {
+// twoFinish tries to complete the two-level allocation once LT full leaves
+// are chosen with common uplink mask m.
+func (sc *Scratch) twoFinish(m uint64) (*partition.Partition, bool) {
+	t := sc.tree
+	remLeaf := -1
+	if sc.nrl > 0 {
 		var srMask uint64
-		var sr []int
-		remLeaf := -1
-		if nrL > 0 {
-			for l := 0; l < t.LeavesPerPod; l++ {
-				if inUse[l] || info[l].free < nrL {
-					continue
-				}
-				common := m & info[l].up
-				if bits.OnesCount64(common) < nrL {
-					continue
-				}
-				remLeaf = l
-				sr = lowestBits(common, nrL)
-				srMask = 0
-				for _, i := range sr {
-					srMask |= 1 << i
-				}
-				break
+		for l := 0; l < t.LeavesPerPod; l++ {
+			if sc.inUseL[l] || sc.info[l].free < sc.nrl {
+				continue
 			}
-			if remLeaf < 0 {
-				return nil, false
+			common := m & sc.info[l].up
+			if bits.OnesCount64(common) < sc.nrl {
+				continue
 			}
-			rest := lowestBits(m&^srMask, nL-nrL)
-			s := append(append([]int{}, sr...), rest...)
-			sortInts(s)
-			sortInts(sr)
-			leaves := make([]partition.LeafAlloc, 0, LT+1)
-			for _, l := range chosen {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+			remLeaf = l
+			sc.sr = appendLowestBits(sc.sr[:0], common, sc.nrl)
+			srMask = 0
+			for _, i := range sc.sr {
+				srMask |= 1 << i
 			}
-			leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
-			return &partition.Partition{
-				NL: nL, LT: LT, S: s, Sr: sr,
-				Trees: []partition.TreeAlloc{{Pod: pod, Leaves: leaves}},
-			}, true
+			break
 		}
-		s := lowestBits(m, nL)
-		leaves := make([]partition.LeafAlloc, 0, LT)
-		for _, l := range chosen {
-			leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+		if remLeaf < 0 {
+			return nil, false
 		}
-		return &partition.Partition{
-			NL: nL, LT: LT, S: s,
-			Trees: []partition.TreeAlloc{{Pod: pod, Leaves: leaves}},
-		}, true
+		sc.s = append(sc.s[:0], sc.sr...)
+		sc.s = appendLowestBits(sc.s, m&^srMask, sc.nl-sc.nrl)
+		sortInts(sc.s)
+		sortInts(sc.sr)
+	} else {
+		sc.s = appendLowestBits(sc.s[:0], m, sc.nl)
 	}
 
-	var rec func(start int, m uint64) (*partition.Partition, bool)
-	rec = func(start int, m uint64) (*partition.Partition, bool) {
-		if len(chosen) == LT {
-			return finish(m)
-		}
-		// Prune: not enough leaves left to reach LT.
-		for l := start; l <= t.LeavesPerPod-(LT-len(chosen)); l++ {
-			if info[l].free < nL {
-				continue
-			}
-			nm := m & info[l].up
-			if bits.OnesCount64(nm) < nL {
-				continue
-			}
-			chosen = append(chosen, l)
-			inUse[l] = true
-			if p, ok := rec(l+1, nm); ok {
-				return p, true
-			}
-			inUse[l] = false
-			chosen = chosen[:len(chosen)-1]
-		}
-		return nil, false
+	sc.leafBuf = sc.leafBuf[:0]
+	for _, l := range sc.chosenL {
+		sc.leafBuf = append(sc.leafBuf, partition.LeafAlloc{Leaf: l, N: sc.nl})
 	}
-	return rec(0, t.HalfMask())
+	if remLeaf >= 0 {
+		sc.leafBuf = append(sc.leafBuf, partition.LeafAlloc{Leaf: remLeaf, N: sc.nrl})
+	}
+	sc.treeBuf = append(sc.treeBuf[:0], partition.TreeAlloc{Pod: sc.pod, Leaves: sc.leafBuf})
+	sc.part = partition.Partition{NL: sc.nl, LT: sc.lt, S: sc.s, Trees: sc.treeBuf}
+	if remLeaf >= 0 {
+		sc.part.Sr = sc.sr
+	}
+	return &sc.part, true
 }
 
 // FindThreeLevel searches the machine for a whole-leaf three-level
@@ -156,7 +145,10 @@ func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int) (*part
 //
 // steps bounds the number of backtracking extensions explored (a guard
 // against pathological states; Jigsaw's restriction keeps real searches tiny).
-func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps *int) (*partition.Partition, bool) {
+//
+// The returned partition aliases sc (valid until sc's next search); pass a
+// nil sc for a single-use scratch.
+func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps *int, sc *Scratch) (*partition.Partition, bool) {
 	t := st.Tree
 	nL := t.NodesPerLeaf
 	treesNeeded := T
@@ -170,196 +162,235 @@ func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps
 	if LrT*nL+nrL >= LT*nL {
 		return nil, false // remainder tree must be strictly smaller
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.ensure(t)
+	sc.st, sc.demand = st, demand
+	sc.nTrees, sc.lt, sc.nl, sc.lrt, sc.nrl = T, LT, nL, LrT, nrL
 
 	// Per-pod candidate information, read from the state's availability
 	// indices: WholeLeafAvailable and SpineMask are O(1) for isolating
 	// demands, and pods without a single whole-free leaf (per-pod free-node
 	// counter below one leaf's worth) skip the leaf scan entirely.
-	freeLeaves := make([][]int, t.Pods) // fully-free leaf indices per pod
-	spine := make([][]uint64, t.Pods)   // per pod, per L2 index: free-spine mask
 	for p := 0; p < t.Pods; p++ {
+		n := 0
 		if st.FreeInPod(p) >= nL {
+			base := p * t.LeavesPerPod
 			for l := 0; l < t.LeavesPerPod; l++ {
 				if st.WholeLeafAvailable(t.LeafIndex(p, l), demand) {
-					freeLeaves[p] = append(freeLeaves[p], l)
+					sc.freeLeaves[base+n] = l
+					n++
 				}
 			}
 		}
-		spine[p] = make([]uint64, t.L2PerPod)
+		sc.nFree[p] = n
+		sbase := p * t.L2PerPod
 		for i := 0; i < t.L2PerPod; i++ {
-			spine[p][i] = st.SpineMask(p, i, demand)
+			sc.spine[sbase+i] = st.SpineMask(p, i, demand)
 		}
 	}
 
-	chosen := make([]int, 0, T)
-	inUse := make([]bool, t.Pods)
-	f := make([]uint64, t.L2PerPod) // running per-L2 spine intersection
+	sc.chosenP = sc.chosenP[:0]
+	clear(sc.inUseP)
+	for i := range sc.f {
+		sc.f[i] = t.HalfMask()
+	}
+	// The budget lives in sc for the duration of the search (storing the
+	// caller's pointer would force its variable onto the heap).
+	sc.steps = *steps
+	p, ok := sc.threeRec(0)
+	*steps = sc.steps
+	return p, ok
+}
 
-	// tryRemainder completes the allocation given the chosen full pods and
-	// intersection masks f.
-	tryRemainder := func() (*partition.Partition, bool) {
-		remPod, remLeaf := -1, -1
-		var sr []int
-		if hasRem {
-		pods:
-			for p := 0; p < t.Pods; p++ {
-				if inUse[p] || len(freeLeaves[p]) < LrT {
+// threeRec extends the chosen-pod set with pods from start onward,
+// maintaining the per-L2 spine intersections in sc.f.
+func (sc *Scratch) threeRec(start int) (*partition.Partition, bool) {
+	t := sc.tree
+	if len(sc.chosenP) == sc.nTrees {
+		return sc.tryRemainder()
+	}
+	for p := start; p <= t.Pods-(sc.nTrees-len(sc.chosenP)); p++ {
+		if sc.nFree[p] < sc.lt {
+			continue
+		}
+		if sc.steps <= 0 {
+			return nil, false
+		}
+		sc.steps--
+		// Intersect spine masks; prune if any L2 drops below LT.
+		var saved [64]uint64
+		ok := true
+		sbase := p * t.L2PerPod
+		for i := 0; i < t.L2PerPod; i++ {
+			saved[i] = sc.f[i]
+			sc.f[i] &= sc.spine[sbase+i]
+			if bits.OnesCount64(sc.f[i]) < sc.lt {
+				ok = false
+			}
+		}
+		if ok {
+			sc.chosenP = append(sc.chosenP, p)
+			sc.inUseP[p] = true
+			if part, found := sc.threeRec(p + 1); found {
+				return part, true
+			}
+			sc.inUseP[p] = false
+			sc.chosenP = sc.chosenP[:len(sc.chosenP)-1]
+		}
+		for i := 0; i < t.L2PerPod; i++ {
+			sc.f[i] = saved[i]
+		}
+	}
+	return nil, false
+}
+
+// tryRemainder completes the three-level allocation given the chosen full
+// pods and intersection masks sc.f.
+func (sc *Scratch) tryRemainder() (*partition.Partition, bool) {
+	t := sc.tree
+	st := sc.st
+	hasRem := sc.lrt > 0 || sc.nrl > 0
+	remPod, remLeaf := -1, -1
+	sc.sr = sc.sr[:0]
+	if hasRem {
+	pods:
+		for p := 0; p < t.Pods; p++ {
+			if sc.inUseP[p] || sc.nFree[p] < sc.lrt {
+				continue
+			}
+			sbase := p * t.L2PerPod
+			// All L2 indices need LrT spines free in the remainder pod
+			// within the (eventual) S*_i ⊆ f_i.
+			for i := 0; i < t.L2PerPod; i++ {
+				if bits.OnesCount64(sc.f[i]&sc.spine[sbase+i]) < sc.lrt {
+					continue pods
+				}
+			}
+			if sc.nrl == 0 {
+				remPod = p
+				break
+			}
+			// Find a remainder leaf: not one of the LrT full leaves,
+			// with nrL free nodes, and at least nrL L2 indices i where
+			// its uplink is free and f_i ∩ spine_i supports LrT+1. The
+			// full leaves are marked in a bitmask (within-pod leaf
+			// indices never exceed 64 for any supported radix).
+			var taken uint64
+			base := p * t.LeavesPerPod
+			for k := 0; k < sc.lrt; k++ {
+				taken |= 1 << sc.freeLeaves[base+k]
+			}
+			for l := 0; l < t.LeavesPerPod; l++ {
+				if taken&(1<<l) != 0 {
 					continue
 				}
-				// All L2 indices need LrT spines free in the remainder pod
-				// within the (eventual) S*_i ⊆ f_i.
-				for i := 0; i < t.L2PerPod; i++ {
-					if bits.OnesCount64(f[i]&spine[p][i]) < LrT {
-						continue pods
+				leafIdx := t.LeafIndex(p, l)
+				if st.FreeInLeaf(leafIdx) < sc.nrl {
+					continue
+				}
+				up := st.LeafUpMask(leafIdx, sc.demand)
+				sc.sr = sc.sr[:0]
+				for i := 0; i < t.L2PerPod && len(sc.sr) < sc.nrl; i++ {
+					if up&(1<<i) != 0 && bits.OnesCount64(sc.f[i]&sc.spine[sbase+i]) >= sc.lrt+1 {
+						sc.sr = append(sc.sr, i)
 					}
 				}
-				if nrL == 0 {
-					remPod = p
-					break
-				}
-				// Find a remainder leaf: not one of the LrT full leaves,
-				// with nrL free nodes, and at least nrL L2 indices i where
-				// its uplink is free and f_i ∩ spine_i supports LrT+1.
-				taken := map[int]bool{}
-				for k := 0; k < LrT; k++ {
-					taken[freeLeaves[p][k]] = true
-				}
-				for l := 0; l < t.LeavesPerPod; l++ {
-					if taken[l] {
-						continue
-					}
-					leafIdx := t.LeafIndex(p, l)
-					if st.FreeInLeaf(leafIdx) < nrL {
-						continue
-					}
-					up := st.LeafUpMask(leafIdx, demand)
-					var cand []int
-					for i := 0; i < t.L2PerPod && len(cand) < nrL; i++ {
-						if up&(1<<i) != 0 && bits.OnesCount64(f[i]&spine[p][i]) >= LrT+1 {
-							cand = append(cand, i)
-						}
-					}
-					if len(cand) == nrL {
-						remPod, remLeaf, sr = p, l, cand
-						break pods
-					}
+				if len(sc.sr) == sc.nrl {
+					remPod, remLeaf = p, l
+					break pods
 				}
 			}
-			if remPod < 0 {
-				return nil, false
-			}
 		}
-
-		// Choose spine sets: S*_i takes the remainder tree's requirement
-		// from f_i ∩ spine[remPod][i] first, then fills to LT from f_i.
-		srMask := uint64(0)
-		for _, i := range sr {
-			srMask |= 1 << i
+		if remPod < 0 {
+			return nil, false
 		}
-		spineSet := make(map[int][]int, t.L2PerPod)
-		var spineSetR map[int][]int
-		if hasRem {
-			spineSetR = make(map[int][]int, t.L2PerPod)
-		}
-		for i := 0; i < t.L2PerPod; i++ {
-			if !hasRem {
-				spineSet[i] = lowestBits(f[i], LT)
-				continue
-			}
-			req := LrT
-			if srMask&(1<<i) != 0 {
-				req++
-			}
-			rsel := lowestBits(f[i]&spine[remPod][i], req)
-			var rm uint64
-			for _, s := range rsel {
-				rm |= 1 << s
-			}
-			fill := lowestBits(f[i]&^rm, LT-req)
-			all := append(append([]int{}, rsel...), fill...)
-			sortInts(all)
-			sortInts(rsel)
-			spineSet[i] = all
-			spineSetR[i] = rsel
-		}
-
-		s := make([]int, t.L2PerPod)
-		for i := range s {
-			s[i] = i
-		}
-		trees := make([]partition.TreeAlloc, 0, treesNeeded)
-		for _, p := range chosen {
-			leaves := make([]partition.LeafAlloc, 0, LT)
-			for k := 0; k < LT; k++ {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: freeLeaves[p][k], N: nL})
-			}
-			trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
-		}
-		if hasRem {
-			leaves := make([]partition.LeafAlloc, 0, LrT+1)
-			for k := 0; k < LrT; k++ {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: freeLeaves[remPod][k], N: nL})
-			}
-			if nrL > 0 {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
-			}
-			trees = append(trees, partition.TreeAlloc{Pod: remPod, Leaves: leaves, Remainder: true})
-		}
-		sortInts(sr)
-		part := &partition.Partition{
-			NL: nL, LT: LT, S: s, Sr: sr,
-			SpineSet: spineSet, SpineSetR: spineSetR,
-			Trees: trees,
-		}
-		if nrL == 0 {
-			part.Sr = nil
-		}
-		return part, true
 	}
 
-	var rec func(start int) (*partition.Partition, bool)
-	rec = func(start int) (*partition.Partition, bool) {
-		if len(chosen) == T {
-			return tryRemainder()
+	// Choose spine sets: S*_i takes the remainder tree's requirement
+	// from f_i ∩ spine[remPod][i] first, then fills to LT from f_i.
+	srMask := uint64(0)
+	for _, i := range sc.sr {
+		srMask |= 1 << i
+	}
+	clear(sc.spineSet)
+	clear(sc.spineSetR)
+	sc.spineInts = sc.spineInts[:0]
+	rbase := 0
+	if remPod >= 0 {
+		rbase = remPod * t.L2PerPod
+	}
+	for i := 0; i < t.L2PerPod; i++ {
+		if !hasRem {
+			start := len(sc.spineInts)
+			sc.spineInts = appendLowestBits(sc.spineInts, sc.f[i], sc.lt)
+			sc.spineSet[i] = sc.spineInts[start:len(sc.spineInts):len(sc.spineInts)]
+			continue
 		}
-		for p := start; p <= t.Pods-(T-len(chosen)); p++ {
-			if len(freeLeaves[p]) < LT {
-				continue
-			}
-			if *steps <= 0 {
-				return nil, false
-			}
-			*steps--
-			// Intersect spine masks; prune if any L2 drops below LT.
-			var saved [64]uint64
-			ok := true
-			for i := 0; i < t.L2PerPod; i++ {
-				saved[i] = f[i]
-				f[i] &= spine[p][i]
-				if bits.OnesCount64(f[i]) < LT {
-					ok = false
-				}
-			}
-			if ok {
-				chosen = append(chosen, p)
-				inUse[p] = true
-				if part, found := rec(p + 1); found {
-					return part, true
-				}
-				inUse[p] = false
-				chosen = chosen[:len(chosen)-1]
-			}
-			for i := 0; i < t.L2PerPod; i++ {
-				f[i] = saved[i]
-			}
+		req := sc.lrt
+		if srMask&(1<<i) != 0 {
+			req++
 		}
-		return nil, false
+		start := len(sc.spineInts)
+		sc.spineInts = appendLowestBits(sc.spineInts, sc.f[i]&sc.spine[rbase+i], req)
+		rsel := sc.spineInts[start:len(sc.spineInts):len(sc.spineInts)]
+		var rm uint64
+		for _, s := range rsel {
+			rm |= 1 << s
+		}
+		start = len(sc.spineInts)
+		sc.spineInts = append(sc.spineInts, rsel...)
+		sc.spineInts = appendLowestBits(sc.spineInts, sc.f[i]&^rm, sc.lt-req)
+		all := sc.spineInts[start:len(sc.spineInts):len(sc.spineInts)]
+		sortInts(all)
+		sortInts(rsel)
+		sc.spineSet[i] = all
+		sc.spineSetR[i] = rsel
 	}
 
-	for i := range f {
-		f[i] = t.HalfMask()
+	sc.s = sc.s[:0]
+	for i := 0; i < t.L2PerPod; i++ {
+		sc.s = append(sc.s, i)
 	}
-	return rec(0)
+	sc.leafBuf = sc.leafBuf[:0]
+	sc.treeBuf = sc.treeBuf[:0]
+	for _, p := range sc.chosenP {
+		start := len(sc.leafBuf)
+		base := p * t.LeavesPerPod
+		for k := 0; k < sc.lt; k++ {
+			sc.leafBuf = append(sc.leafBuf, partition.LeafAlloc{Leaf: sc.freeLeaves[base+k], N: sc.nl})
+		}
+		sc.treeBuf = append(sc.treeBuf, partition.TreeAlloc{
+			Pod: p, Leaves: sc.leafBuf[start:len(sc.leafBuf):len(sc.leafBuf)],
+		})
+	}
+	if hasRem {
+		start := len(sc.leafBuf)
+		base := remPod * t.LeavesPerPod
+		for k := 0; k < sc.lrt; k++ {
+			sc.leafBuf = append(sc.leafBuf, partition.LeafAlloc{Leaf: sc.freeLeaves[base+k], N: sc.nl})
+		}
+		if sc.nrl > 0 {
+			sc.leafBuf = append(sc.leafBuf, partition.LeafAlloc{Leaf: remLeaf, N: sc.nrl})
+		}
+		sc.treeBuf = append(sc.treeBuf, partition.TreeAlloc{
+			Pod: remPod, Leaves: sc.leafBuf[start:len(sc.leafBuf):len(sc.leafBuf)], Remainder: true,
+		})
+	}
+	sortInts(sc.sr)
+	sc.part = partition.Partition{
+		NL: sc.nl, LT: sc.lt, S: sc.s, Sr: sc.sr,
+		SpineSet: sc.spineSet, SpineSetR: sc.spineSetR,
+		Trees: sc.treeBuf,
+	}
+	if sc.nrl == 0 {
+		sc.part.Sr = nil
+	}
+	if !hasRem {
+		sc.part.SpineSetR = nil
+	}
+	return &sc.part, true
 }
 
 // sortInts is a tiny insertion sort; index sets here have at most radix/2

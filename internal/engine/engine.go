@@ -49,6 +49,17 @@ import (
 // DefaultWindow is the paper's backfill lookahead (Section 5.4.3).
 const DefaultWindow = 50
 
+// maxInt is the monotone feasibility threshold's "nothing failed" value.
+const maxInt = int(^uint(0) >> 1)
+
+// feasKey identifies a memoizable allocation question: the requested size
+// plus the allocator's feasibility class for the job (bandwidth class for
+// the link-sharing policies, 0 for the rest).
+type feasKey struct {
+	size  int
+	class int32
+}
+
 // timeEps absorbs floating-point slack in shadow-time comparisons.
 const timeEps = 1e-9
 
@@ -70,6 +81,11 @@ type Config struct {
 	// MeasureAllocTime records wall-clock time spent in Allocate calls on
 	// the live state (Table 3). Disable for deterministic tests.
 	MeasureAllocTime bool
+	// DisableFeasibilityCache turns off negative-feasibility memoization
+	// even when the allocator supports it (alloc.FeasibilityClasser). The
+	// cache never changes scheduling outcomes — see DESIGN.md §11 — so this
+	// exists for differential tests and measurement, not correctness.
+	DisableFeasibilityCache bool
 }
 
 // State is the lifecycle stage of a submitted job.
@@ -143,9 +159,19 @@ type Accounting struct {
 	// drain (Section 5's steady-state cutoff).
 	FirstArrival, LastEnd, SteadyEnd float64
 	// AllocSeconds is wall-clock time spent in live Allocate calls;
-	// AllocCalls counts them (Table 3 divides by job count).
+	// AllocCalls counts them (Table 3 divides by job count). Allocation
+	// attempts answered by the feasibility cache still count: AllocCalls is
+	// the number of logical placement questions asked, so it is identical
+	// with and without the cache.
 	AllocSeconds float64
 	AllocCalls   int
+	// FeasCacheHits counts allocation attempts answered "infeasible" from
+	// the negative-feasibility cache without running the allocator's search;
+	// FeasCacheMisses counts consults that fell through to a real search.
+	// FeasCacheInvalidations counts the times a state-version change
+	// discarded a non-empty cache. All three stay zero when the cache is
+	// disabled or the allocator does not support it.
+	FeasCacheHits, FeasCacheMisses, FeasCacheInvalidations int
 }
 
 // JobStatus is a point-in-time view of one submitted job.
@@ -254,6 +280,25 @@ type Engine struct {
 	// byEnd is the reservation's reusable sort scratch.
 	byEnd []*runningJob
 
+	// Negative-feasibility cache (DESIGN.md §11). feasClass is non-nil when
+	// the allocator implements alloc.FeasibilityClasser and the cache is
+	// enabled: a failed Allocate then proves every same-(size, class)
+	// attempt infeasible until the live state's version changes. The cache
+	// applies only to live-state searches (allocate and the transactional
+	// reservation's head probes) — clone-based passes have their own State
+	// whose versions are not comparable with the live one.
+	feasClass func(topology.JobID) int32
+	// feasMono is set when the allocator additionally declares
+	// alloc.MonotoneFeasibility; the cache then degenerates to a single
+	// threshold: the smallest size seen to fail at the current version.
+	feasMono bool
+	// feasVersion is the live-state version the cached verdicts hold at.
+	feasVersion uint64
+	// feasFailed holds the failed (size, class) pairs (non-monotone mode).
+	feasFailed map[feasKey]struct{}
+	// feasMin is the monotone-mode threshold; maxInt means "nothing failed".
+	feasMin int
+
 	acc         Accounting
 	counts      Counts
 	haveArrival bool
@@ -269,14 +314,24 @@ func New(cfg Config) (*Engine, error) {
 		w = DefaultWindow
 	}
 	txn, _ := cfg.Alloc.(alloc.TxnAllocator)
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		window:   w,
 		running:  map[*runningJob]struct{}{},
 		jobs:     map[int64]*jobItem{},
 		total:    cfg.Alloc.Tree().Nodes(),
 		txnAlloc: txn,
-	}, nil
+		feasMin:  maxInt,
+	}
+	if fc, ok := cfg.Alloc.(alloc.FeasibilityClasser); ok && !cfg.DisableFeasibilityCache {
+		e.feasClass = fc.FeasibilityClass
+		_, e.feasMono = cfg.Alloc.(alloc.MonotoneFeasibility)
+		if !e.feasMono {
+			e.feasFailed = map[feasKey]struct{}{}
+		}
+		e.feasVersion = cfg.Alloc.State().Version()
+	}
+	return e, nil
 }
 
 // Config returns the engine's configuration.
@@ -358,7 +413,7 @@ func (e *Engine) Cancel(id int64) (JobStatus, error) {
 	case StateQueued:
 		for i, q := range e.queue {
 			if q == it {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.removeQueued(i)
 				break
 			}
 		}
@@ -514,8 +569,66 @@ func (e *Engine) start(it *jobItem, pl *topology.Placement, now float64) *runnin
 	return rj
 }
 
-// allocate tries a live placement, accounting scheduling time.
+// feasSync discards cached verdicts when the live state's version moved:
+// any take or return since they were recorded could have changed the answer.
+// Invalidations are only counted when something was actually discarded.
+func (e *Engine) feasSync() {
+	v := e.cfg.Alloc.State().Version()
+	if v == e.feasVersion {
+		return
+	}
+	e.feasVersion = v
+	if e.feasMono {
+		if e.feasMin != maxInt {
+			e.feasMin = maxInt
+			e.acc.FeasCacheInvalidations++
+		}
+	} else if len(e.feasFailed) > 0 {
+		clear(e.feasFailed)
+		e.acc.FeasCacheInvalidations++
+	}
+}
+
+// feasInfeasible reports whether the cache proves the job cannot be placed
+// on the live state right now. False when the cache is off or has no verdict.
+func (e *Engine) feasInfeasible(size int, id int64) bool {
+	if e.feasClass == nil {
+		return false
+	}
+	e.feasSync()
+	if e.feasMono {
+		return size >= e.feasMin
+	}
+	_, hit := e.feasFailed[feasKey{size: size, class: e.feasClass(topology.JobID(id))}]
+	return hit
+}
+
+// feasRecordFailure memoizes a live-state Allocate failure just observed at
+// the synced version (a failed Allocate leaves the state — and therefore its
+// version — untouched, so no re-sync is needed).
+func (e *Engine) feasRecordFailure(size int, id int64) {
+	if e.feasClass == nil {
+		return
+	}
+	if e.feasMono {
+		if size < e.feasMin {
+			e.feasMin = size
+		}
+		return
+	}
+	e.feasFailed[feasKey{size: size, class: e.feasClass(topology.JobID(id))}] = struct{}{}
+}
+
+// allocate tries a live placement, accounting scheduling time. Attempts the
+// feasibility cache can refute skip the allocator search entirely; they
+// still count as AllocCalls (logical attempts), keeping the accounting
+// identical with and without the cache.
 func (e *Engine) allocate(it *jobItem) (*topology.Placement, bool) {
+	e.acc.AllocCalls++
+	if e.feasInfeasible(it.j.Size, it.j.ID) {
+		e.acc.FeasCacheHits++
+		return nil, false
+	}
 	var t0 time.Time
 	if e.cfg.MeasureAllocTime {
 		t0 = time.Now()
@@ -524,8 +637,29 @@ func (e *Engine) allocate(it *jobItem) (*topology.Placement, bool) {
 	if e.cfg.MeasureAllocTime {
 		e.acc.AllocSeconds += time.Since(t0).Seconds()
 	}
-	e.acc.AllocCalls++
+	if e.feasClass != nil {
+		e.acc.FeasCacheMisses++
+		if !ok {
+			e.feasRecordFailure(it.j.Size, it.j.ID)
+		}
+	}
 	return pl, ok
+}
+
+// removeQueued deletes queue[i], nilling the vacated tail slot so the
+// backing array does not pin the removed job (and its eventual placement)
+// until enough later removals overwrite it.
+func (e *Engine) removeQueued(i int) {
+	copy(e.queue[i:], e.queue[i+1:])
+	e.queue[len(e.queue)-1] = nil
+	e.queue = e.queue[:len(e.queue)-1]
+}
+
+// popHead drops queue[0] by reslicing (the FIFO fast path keeps the backing
+// array), nilling the vacated slot for the same reason as removeQueued.
+func (e *Engine) popHead() {
+	e.queue[0] = nil
+	e.queue = e.queue[1:]
 }
 
 // schedule starts queued jobs: FIFO first, then EASY backfill.
@@ -546,7 +680,7 @@ func (e *Engine) schedule(now float64) {
 				break
 			}
 			e.start(head, pl, now)
-			e.queue = e.queue[1:]
+			e.popHead()
 		}
 		if len(e.queue) == 0 {
 			return
@@ -575,7 +709,7 @@ func (e *Engine) schedule(now float64) {
 			head.end = now
 			e.counts.Rejected++
 			e.acc.Rejected = append(e.acc.Rejected, head.j)
-			e.queue = e.queue[1:]
+			e.popHead()
 			continue
 		}
 		if e.cfg.DisableBackfill {
@@ -596,7 +730,7 @@ func (e *Engine) schedule(now float64) {
 			if now+cand.eff <= shadow+timeEps {
 				// Finishes before the head's reservation: always safe.
 				e.start(cand, pl, now)
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.removeQueued(i)
 				continue
 			}
 			if e.cfg.Conservative {
@@ -608,7 +742,7 @@ func (e *Engine) schedule(now float64) {
 			// still fit at the shadow time with this job in place.
 			if e.headFitsAtShadow(head, snap, pl) {
 				e.start(cand, pl, now)
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.removeQueued(i)
 				continue
 			}
 			e.cfg.Alloc.Release(pl)
@@ -702,11 +836,24 @@ func (e *Engine) reservationTxn(head *jobItem) (float64, bool) {
 		if a.FreeNodes() < head.j.Size {
 			continue
 		}
+		// The what-if pass runs on the live state, so its versions are
+		// comparable with the cache's: a verdict memoized outside the
+		// transaction is reusable here and vice versa. (In practice every
+		// release batch bumps the version, so hits within one pass are
+		// rare; the consult is O(1) either way.)
+		if e.feasInfeasible(head.j.Size, head.j.ID) {
+			e.acc.FeasCacheHits++
+			continue
+		}
+		if e.feasClass != nil {
+			e.acc.FeasCacheMisses++
+		}
 		if hpl, fits := a.Allocate(topology.JobID(head.j.ID), head.j.Size); fits {
 			a.Release(hpl)
 			shadow, ok = t, true
 			break
 		}
+		e.feasRecordFailure(head.j.Size, head.j.ID)
 	}
 	a.Rollback()
 	e.dropScratch(byEnd)

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TestQueueRemovalNilsVacatedSlots is the white-box check that every queue
+// removal path zeroes the slot it vacates, so the backing array does not pin
+// started/cancelled jobItems (and through them, their jobs) alive until
+// later appends happen to overwrite the slots.
+func TestQueueRemovalNilsVacatedSlots(t *testing.T) {
+	tree := topology.MustNew(8) // 128 nodes
+	e, err := New(Config{Alloc: core.NewAllocator(tree)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(id int64, size int, runtime float64) {
+		t.Helper()
+		if err := e.Submit(trace.Job{ID: id, Size: size, Arrival: 0, Runtime: runtime}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fill the machine so subsequent jobs queue up behind a blocked head.
+	submit(1, tree.Nodes(), 1000)
+	submit(2, 64, 2000) // will be the blocked head
+	submit(3, 8, 10)
+	submit(4, 8, 10)
+	submit(5, 8, 10)
+	e.AdvanceTo(0)
+	if len(e.queue) != 4 {
+		t.Fatalf("queue depth = %d, want 4", len(e.queue))
+	}
+	backing := e.queue[:cap(e.queue):cap(e.queue)]
+
+	// Cancel a mid-queue job: removeQueued shifts left and nils the tail
+	// slot (the machine is still full, so nothing else moves).
+	if _, err := e.Cancel(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.queue) != 3 {
+		t.Fatalf("queue depth after cancel = %d, want 3", len(e.queue))
+	}
+	if backing[3] != nil {
+		t.Fatalf("removeQueued left the vacated tail slot holding job %d", backing[3].j.ID)
+	}
+
+	// Cancelling the running job drains the queue: the head (64) and both
+	// 8-node jobs start, each popHead nilling the slot it vacates.
+	if _, err := e.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.queue) != 0 {
+		t.Fatalf("queue depth after release = %d, want 0", len(e.queue))
+	}
+	for i, it := range backing {
+		if it != nil {
+			t.Errorf("backing slot %d still pins job %d after its removal", i, it.j.ID)
+		}
+	}
+}

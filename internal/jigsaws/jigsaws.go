@@ -21,6 +21,10 @@ type Allocator struct {
 	tree   *topology.FatTree
 	st     *topology.State
 	budget int
+
+	// scratch backs the allocator's searches; Clone deliberately gives the
+	// clone a fresh zero Scratch (a Scratch must never be shared).
+	scratch core.Scratch
 }
 
 // NewAllocator returns a Jigsaw+S allocator for a pristine tree.
@@ -59,14 +63,21 @@ func (a *Allocator) Rollback() { a.st.Rollback() }
 func (a *Allocator) Commit() { a.st.Commit() }
 
 // FindPartition runs the Jigsaw search at the job's bandwidth class without
-// charging the result.
+// charging the result. The returned partition is an independent copy the
+// caller may retain.
 func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Partition, bool) {
-	return core.Search(a.st, lcs.DemandFor(job), size, false, a.budget)
+	p, ok := core.Search(a.st, lcs.DemandFor(job), size, false, a.budget, &a.scratch)
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
 }
 
-// Allocate implements alloc.Allocator.
+// Allocate implements alloc.Allocator. The scratch-backed partition is
+// consumed immediately (Placement copies what it needs), so no clone is
+// taken on this hot path.
 func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
-	p, ok := a.FindPartition(job, size)
+	p, ok := core.Search(a.st, lcs.DemandFor(job), size, false, a.budget, &a.scratch)
 	if !ok {
 		return nil, false
 	}
@@ -74,6 +85,11 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 	pl.Apply(a.st)
 	return pl, true
 }
+
+// FeasibilityClass implements alloc.FeasibilityClasser: two same-size jobs
+// in different bandwidth classes can get different verdicts against the same
+// state, so negative-feasibility memoization must key on the class too.
+func (a *Allocator) FeasibilityClass(job topology.JobID) int32 { return lcs.DemandFor(job) }
 
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }

@@ -19,6 +19,10 @@ type Allocator struct {
 	tree   *topology.FatTree
 	st     *topology.State
 	budget int
+
+	// scratch backs the allocator's searches; Clone deliberately gives the
+	// clone a fresh zero Scratch (a Scratch must never be shared).
+	scratch core.Scratch
 }
 
 // NewAllocator returns a LaaS allocator for a pristine tree.
@@ -75,7 +79,7 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 			if a.st.FullyFreeLeavesInPod(pod) < leaves {
 				continue
 			}
-			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0); ok {
+			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0, &a.scratch); ok {
 				pl := p.Placement(t, job, 1)
 				pl.Apply(a.st)
 				return pl, true
@@ -103,7 +107,7 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 			continue
 		}
 		steps := a.budget
-		if p, ok := core.FindThreeLevel(a.st, 1, pods, lt, lrT, 0, &steps); ok {
+		if p, ok := core.FindThreeLevel(a.st, 1, pods, lt, lrT, 0, &steps, &a.scratch); ok {
 			pl := p.Placement(t, job, 1)
 			pl.Apply(a.st)
 			return pl, true
@@ -114,6 +118,25 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }
+
+// FeasibilityClass implements alloc.FeasibilityClasser: LaaS's verdict for a
+// fixed state depends only on the requested size (every job searches at
+// demand 1), so schedulers may memoize negative verdicts per exact size.
+func (a *Allocator) FeasibilityClass(topology.JobID) int32 { return 0 }
+
+// MonotoneFeasibility implements alloc.MonotoneFeasibility. LaaS allocates
+// whole, fully-free leaves, and its shape space is closed downward: from a
+// feasible placement of m+1 leaves (P pods × lt leaves, plus a remainder pod
+// of lrT < lt), dropping one leaf yields a shape the search also tries —
+// P × lt with remainder lrT-1 when lrT > 0, else (P-1) × lt with remainder
+// lt-1 — over a subset of the same pods, whose per-L2 spine-mask
+// intersections can only grow and whose remainder requirement shrank. So if
+// size N is infeasible, every larger size (never needing fewer leaves) is
+// too. The one theoretical caveat — the step budget truncating a smaller
+// search that an exhaustive pass would have satisfied — cannot trigger at
+// the default budget, which exceeds the shape space by orders of magnitude
+// (see DESIGN.md §11).
+func (a *Allocator) MonotoneFeasibility() {}
 
 // RoundedSize returns the node count LaaS actually allocates for a request:
 // size rounded up to whole leaves.

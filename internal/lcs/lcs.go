@@ -50,11 +50,52 @@ func DemandFor(job topology.JobID) int32 {
 	return classes[x%4]
 }
 
+// leafInfo is the per-leaf view the sub-solution enumeration works from.
+type leafInfo struct {
+	up   uint64
+	free int
+}
+
+// subSolution is one way to carve lt leaves with nL nodes each out of a pod.
+type subSolution struct {
+	leaves []int  // within-pod leaf indices
+	mask   uint64 // intersection of the leaves' free-uplink masks
+}
+
+// searchScratch holds the reusable buffers and in-flight parameters of the
+// general three-level search, so per-candidate enumeration stops allocating
+// on the hot path (the kernels are methods on Allocator rather than
+// closures, and buffers persist across Allocate calls). Success-path
+// partition assembly still allocates — it happens once per placement, not
+// once per candidate.
+type searchScratch struct {
+	// core backs the shared two-level kernel (core.FindTwoLevel).
+	core core.Scratch
+
+	// In-flight search parameters for the general three-level kernels.
+	demand              int32
+	T, lt, nl, lrT, nrL int
+
+	info      []leafInfo
+	spine     []uint64 // flat per-(pod, L2) free-spine masks, stride L2PerPod
+	f         []uint64 // running per-L2 spine intersection over chosen pods
+	inUse     []bool
+	chosen    []int // pods
+	chosenSol []int // solution index per chosen pod
+	enum      []int // chosen-leaf stack of the sub-solution enumeration
+	sols      [][]subSolution
+	rsols     []subSolution // remainder-pod enumeration buffer
+}
+
 // Allocator implements alloc.Allocator for LC+S.
 type Allocator struct {
 	tree   *topology.FatTree
 	st     *topology.State
 	budget int
+
+	// sc backs the allocator's searches; Clone deliberately gives the clone
+	// a fresh zero scratch (scratch must never be shared).
+	sc searchScratch
 }
 
 // NewAllocator returns an LC+S allocator for a pristine tree.
@@ -93,9 +134,14 @@ func (a *Allocator) Rollback() { a.st.Rollback() }
 // Commit implements alloc.TxnAllocator.
 func (a *Allocator) Commit() { a.st.Commit() }
 
+// FeasibilityClass implements alloc.FeasibilityClasser: two same-size jobs
+// in different bandwidth classes can get different verdicts against the same
+// state, so negative-feasibility memoization must key on the class too.
+func (a *Allocator) FeasibilityClass(job topology.JobID) int32 { return DemandFor(job) }
+
 // Allocate implements alloc.Allocator.
 func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement, bool) {
-	p, ok := a.FindPartition(job, size)
+	p, ok := a.findPartition(job, size)
 	if !ok {
 		return nil, false
 	}
@@ -103,8 +149,20 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 }
 
 // FindPartition searches for a least-constrained partition of the given size
-// at the job's bandwidth class, without charging it against the state.
+// at the job's bandwidth class, without charging it against the state. The
+// returned partition is an independent copy the caller may retain.
 func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	p, ok := a.findPartition(job, size)
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
+}
+
+// findPartition is the search behind Allocate/FindPartition. Two-level
+// results alias the allocator's scratch (valid until the next search), which
+// Allocate consumes immediately; FindPartition clones before returning.
+func (a *Allocator) findPartition(job topology.JobID, size int) (*partition.Partition, bool) {
 	t := a.tree
 	if size < 1 || size > a.st.FreeNodes() {
 		return nil, false
@@ -138,7 +196,7 @@ func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Part
 			if a.st.FreeInPod(pod) < size {
 				continue
 			}
-			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL); ok {
+			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL, &a.sc.core); ok {
 				return p, true
 			}
 		}
@@ -178,57 +236,79 @@ func (a *Allocator) commit(p *partition.Partition, job topology.JobID, demand in
 	return pl, true
 }
 
-// subSolution is one way to carve lt leaves with nL nodes each out of a pod.
-type subSolution struct {
-	leaves []int  // within-pod leaf indices
-	mask   uint64 // intersection of the leaves' free-uplink masks
+// ensureScratch sizes the three-level search buffers once per allocator.
+func (a *Allocator) ensureScratch() {
+	sc := &a.sc
+	if sc.info != nil {
+		return
+	}
+	t := a.tree
+	sc.info = make([]leafInfo, t.LeavesPerPod)
+	sc.spine = make([]uint64, t.Pods*t.L2PerPod)
+	sc.f = make([]uint64, t.L2PerPod)
+	sc.inUse = make([]bool, t.Pods)
+	sc.chosen = make([]int, 0, t.Pods)
+	sc.chosenSol = make([]int, 0, t.Pods)
+	sc.enum = make([]int, 0, t.LeavesPerPod)
+	sc.sols = make([][]subSolution, t.Pods)
 }
 
-// podSolutions enumerates up to maxSolutionsPerPod sub-solutions for a pod.
-func (a *Allocator) podSolutions(demand int32, pod, lt, nL int, steps *int) []subSolution {
-	t := a.tree
-	type leafInfo struct {
-		up   uint64
-		free int
+// appendSol records the enumeration stack as a sub-solution, reusing the
+// destination slot's backing array when one is available.
+func appendSol(dst []subSolution, chosen []int, mask uint64) []subSolution {
+	if n := len(dst); n < cap(dst) {
+		dst = dst[:n+1]
+		dst[n].leaves = append(dst[n].leaves[:0], chosen...)
+		dst[n].mask = mask
+		return dst
 	}
-	info := make([]leafInfo, t.LeavesPerPod)
+	return append(dst, subSolution{leaves: append([]int(nil), chosen...), mask: mask})
+}
+
+// podSolutions enumerates up to maxSolutionsPerPod sub-solutions for a pod
+// into dst (reusing its slots' backing arrays).
+func (a *Allocator) podSolutions(dst []subSolution, demand int32, pod, lt, nL int, steps *int) []subSolution {
+	t := a.tree
+	sc := &a.sc
 	for l := 0; l < t.LeavesPerPod; l++ {
 		leafIdx := t.LeafIndex(pod, l)
-		info[l] = leafInfo{up: a.st.LeafUpMask(leafIdx, demand), free: a.st.FreeInLeaf(leafIdx)}
+		sc.info[l] = leafInfo{up: a.st.LeafUpMask(leafIdx, demand), free: a.st.FreeInLeaf(leafIdx)}
 	}
-	var sols []subSolution
-	chosen := make([]int, 0, lt)
-	var rec func(start int, m uint64)
-	rec = func(start int, m uint64) {
-		if len(sols) >= maxSolutionsPerPod || *steps <= 0 {
-			return
+	sc.enum = sc.enum[:0]
+	return a.enumSols(dst[:0], lt, nL, steps, 0, t.HalfMask())
+}
+
+// enumSols is podSolutions' backtracking extension over leaves from start
+// onward with running uplink intersection m.
+func (a *Allocator) enumSols(dst []subSolution, lt, nL int, steps *int, start int, m uint64) []subSolution {
+	sc := &a.sc
+	if len(dst) >= maxSolutionsPerPod || *steps <= 0 {
+		return dst
+	}
+	if len(sc.enum) == lt {
+		return appendSol(dst, sc.enum, m)
+	}
+	t := a.tree
+	for l := start; l <= t.LeavesPerPod-(lt-len(sc.enum)); l++ {
+		*steps--
+		if *steps <= 0 {
+			return dst
 		}
-		if len(chosen) == lt {
-			sols = append(sols, subSolution{leaves: append([]int(nil), chosen...), mask: m})
-			return
+		if sc.info[l].free < nL {
+			continue
 		}
-		for l := start; l <= t.LeavesPerPod-(lt-len(chosen)); l++ {
-			*steps--
-			if *steps <= 0 {
-				return
-			}
-			if info[l].free < nL {
-				continue
-			}
-			nm := m & info[l].up
-			if bits.OnesCount64(nm) < nL {
-				continue
-			}
-			chosen = append(chosen, l)
-			rec(l+1, nm)
-			chosen = chosen[:len(chosen)-1]
-			if len(sols) >= maxSolutionsPerPod {
-				return
-			}
+		nm := m & sc.info[l].up
+		if bits.OnesCount64(nm) < nL {
+			continue
+		}
+		sc.enum = append(sc.enum, l)
+		dst = a.enumSols(dst, lt, nL, steps, l+1, nm)
+		sc.enum = sc.enum[:len(sc.enum)-1]
+		if len(dst) >= maxSolutionsPerPod {
+			return dst
 		}
 	}
-	rec(0, t.HalfMask())
-	return sols
+	return dst
 }
 
 // findGeneral searches for a least-constrained three-level partition:
@@ -237,232 +317,249 @@ func (a *Allocator) podSolutions(demand int32, pod, lt, nL int, steps *int) []su
 // LrT full leaves and an nrL-node remainder leaf.
 func (a *Allocator) findGeneral(demand int32, T, lt, nL, LrT, nrL int, steps *int) (*partition.Partition, bool) {
 	t := a.tree
-	hasRem := LrT > 0 || nrL > 0
+	a.ensureScratch()
+	sc := &a.sc
+	sc.demand, sc.T, sc.lt, sc.nl, sc.lrT, sc.nrL = demand, T, lt, nL, LrT, nrL
 
 	// Per-pod spine masks and sub-solutions.
-	spine := make([][]uint64, t.Pods)
-	sols := make([][]subSolution, t.Pods)
 	for p := 0; p < t.Pods; p++ {
-		spine[p] = make([]uint64, t.L2PerPod)
+		sbase := p * t.L2PerPod
 		for i := 0; i < t.L2PerPod; i++ {
-			spine[p][i] = a.st.SpineMask(p, i, demand)
+			sc.spine[sbase+i] = a.st.SpineMask(p, i, demand)
 		}
-		sols[p] = a.podSolutions(demand, p, lt, nL, steps)
+		sc.sols[p] = a.podSolutions(sc.sols[p], demand, p, lt, nL, steps)
 		if *steps <= 0 {
 			return nil, false
 		}
 	}
 
-	chosen := make([]int, 0, T)     // pods
-	chosenSol := make([]int, 0, T)  // solution index per chosen pod
-	f := make([]uint64, t.L2PerPod) // per-L2 spine intersection over chosen pods
-	for i := range f {
-		f[i] = t.HalfMask()
+	sc.chosen = sc.chosen[:0]
+	sc.chosenSol = sc.chosenSol[:0]
+	for i := range sc.f {
+		sc.f[i] = t.HalfMask()
 	}
-	inUse := make([]bool, t.Pods)
+	clear(sc.inUse)
+	return a.genRec(steps, 0, t.HalfMask())
+}
 
-	// viable returns the mask of L2 indices usable as S members given the
-	// current S-mask intersection.
-	viable := func(sMask uint64) uint64 {
-		var v uint64
-		for i := 0; i < t.L2PerPod; i++ {
-			if sMask&(1<<i) != 0 && bits.OnesCount64(f[i]) >= lt {
-				v |= 1 << i
-			}
+// genViable returns the mask of L2 indices usable as S members given the
+// current S-mask intersection.
+func (a *Allocator) genViable(sMask uint64) uint64 {
+	sc := &a.sc
+	var v uint64
+	for i := 0; i < a.tree.L2PerPod; i++ {
+		if sMask&(1<<i) != 0 && bits.OnesCount64(sc.f[i]) >= sc.lt {
+			v |= 1 << i
 		}
-		return v
 	}
+	return v
+}
 
-	finish := func(sMask uint64) (*partition.Partition, bool) {
-		remPod, remLeaf := -1, -1
-		var remFull []int
-		var sIdx, srIdx []int
-		if !hasRem {
-			v := viable(sMask)
-			if bits.OnesCount64(v) < nL {
+// genRec extends the chosen-pod set with pods from start onward.
+func (a *Allocator) genRec(steps *int, start int, sMask uint64) (*partition.Partition, bool) {
+	t := a.tree
+	sc := &a.sc
+	if len(sc.chosen) == sc.T {
+		return a.genFinish(steps, sMask)
+	}
+	for p := start; p <= t.Pods-(sc.T-len(sc.chosen)); p++ {
+		for si := range sc.sols[p] {
+			*steps--
+			if *steps <= 0 {
 				return nil, false
 			}
-			sIdx = lowestBitsOf(v, nL)
-		} else {
-			// Try every unused pod as the remainder tree.
-			for p := 0; p < t.Pods && remPod < 0; p++ {
-				if inUse[p] {
-					continue
-				}
-				rsols := a.podSolutions(demand, p, LrT, nL, steps)
-				if *steps <= 0 {
-					return nil, false
-				}
-				if LrT == 0 {
-					rsols = []subSolution{{mask: t.HalfMask()}}
-				}
-				for _, rs := range rsols {
-					// A: indices usable as S members against this pod.
-					var amask uint64
-					for i := 0; i < t.L2PerPod; i++ {
-						bit := uint64(1) << i
-						if sMask&bit == 0 || rs.mask&bit == 0 {
-							continue
-						}
-						if bits.OnesCount64(f[i]) < lt {
-							continue
-						}
-						if bits.OnesCount64(f[i]&spine[p][i]) < LrT {
-							continue
-						}
-						amask |= bit
-					}
-					if bits.OnesCount64(amask) < nL {
-						continue
-					}
-					if nrL == 0 {
-						remPod = p
-						remFull = rs.leaves
-						sIdx = lowestBitsOf(amask, nL)
-						break
-					}
-					// Remainder leaf: free nodes and uplinks into B, where
-					// B also supports one extra spine downlink.
-					taken := map[int]bool{}
-					for _, l := range rs.leaves {
-						taken[l] = true
-					}
-					for l := 0; l < t.LeavesPerPod; l++ {
-						if taken[l] {
-							continue
-						}
-						leafIdx := t.LeafIndex(p, l)
-						if a.st.FreeInLeaf(leafIdx) < nrL {
-							continue
-						}
-						up := a.st.LeafUpMask(leafIdx, demand)
-						var bmask uint64
-						for i := 0; i < t.L2PerPod; i++ {
-							bit := uint64(1) << i
-							if amask&bit != 0 && up&bit != 0 &&
-								bits.OnesCount64(f[i]&spine[p][i]) >= LrT+1 {
-								bmask |= bit
-							}
-						}
-						if bits.OnesCount64(bmask) < nrL {
-							continue
-						}
-						srIdx = lowestBitsOf(bmask, nrL)
-						var srm uint64
-						for _, i := range srIdx {
-							srm |= 1 << i
-						}
-						rest := lowestBitsOf(amask&^srm, nL-nrL)
-						sIdx = append(append([]int{}, srIdx...), rest...)
-						sortInts(sIdx)
-						remPod, remLeaf = p, l
-						remFull = rs.leaves
-						break
-					}
-					if remPod >= 0 {
-						break
-					}
-				}
-			}
-			if remPod < 0 {
-				return nil, false
-			}
-		}
-
-		// Spine sets for i in S.
-		var srm uint64
-		for _, i := range srIdx {
-			srm |= 1 << i
-		}
-		spineSet := map[int][]int{}
-		var spineSetR map[int][]int
-		if hasRem {
-			spineSetR = map[int][]int{}
-		}
-		for _, i := range sIdx {
-			if !hasRem {
-				spineSet[i] = lowestBitsOf(f[i], lt)
+			nm := sMask & sc.sols[p][si].mask
+			if bits.OnesCount64(nm) < sc.nl {
 				continue
 			}
-			req := LrT
-			if srm&(1<<i) != 0 {
-				req++
+			var saved [64]uint64
+			sbase := p * t.L2PerPod
+			for i := 0; i < t.L2PerPod; i++ {
+				saved[i] = sc.f[i]
+				sc.f[i] &= sc.spine[sbase+i]
 			}
-			rsel := lowestBitsOf(f[i]&spine[remPod][i], req)
-			var rm uint64
-			for _, s := range rsel {
-				rm |= 1 << s
-			}
-			all := append(append([]int{}, rsel...), lowestBitsOf(f[i]&^rm, lt-req)...)
-			sortInts(all)
-			spineSet[i] = all
-			spineSetR[i] = rsel
-		}
-
-		trees := make([]partition.TreeAlloc, 0, T+1)
-		for k, p := range chosen {
-			leaves := make([]partition.LeafAlloc, 0, lt)
-			for _, l := range sols[p][chosenSol[k]].leaves {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
-			}
-			trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
-		}
-		if hasRem {
-			leaves := make([]partition.LeafAlloc, 0, LrT+1)
-			for _, l := range remFull {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
-			}
-			if nrL > 0 {
-				leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
-			}
-			trees = append(trees, partition.TreeAlloc{Pod: remPod, Leaves: leaves, Remainder: true})
-		}
-		return &partition.Partition{
-			NL: nL, LT: lt, S: sIdx, Sr: srIdx,
-			SpineSet: spineSet, SpineSetR: spineSetR,
-			Trees: trees,
-		}, true
-	}
-
-	var rec func(start int, sMask uint64) (*partition.Partition, bool)
-	rec = func(start int, sMask uint64) (*partition.Partition, bool) {
-		if len(chosen) == T {
-			return finish(sMask)
-		}
-		for p := start; p <= t.Pods-(T-len(chosen)); p++ {
-			for si, sol := range sols[p] {
-				*steps--
-				if *steps <= 0 {
-					return nil, false
+			if bits.OnesCount64(a.genViable(nm)) >= sc.nl {
+				sc.chosen = append(sc.chosen, p)
+				sc.chosenSol = append(sc.chosenSol, si)
+				sc.inUse[p] = true
+				if part, ok := a.genRec(steps, p+1, nm); ok {
+					return part, true
 				}
-				nm := sMask & sol.mask
-				if bits.OnesCount64(nm) < nL {
+				sc.inUse[p] = false
+				sc.chosen = sc.chosen[:len(sc.chosen)-1]
+				sc.chosenSol = sc.chosenSol[:len(sc.chosenSol)-1]
+			}
+			for i := 0; i < t.L2PerPod; i++ {
+				sc.f[i] = saved[i]
+			}
+		}
+	}
+	return nil, false
+}
+
+// genFinish completes the general allocation once T pods are chosen. The
+// partition it assembles is freshly allocated (success path).
+func (a *Allocator) genFinish(steps *int, sMask uint64) (*partition.Partition, bool) {
+	t := a.tree
+	sc := &a.sc
+	lt, nL, LrT, nrL := sc.lt, sc.nl, sc.lrT, sc.nrL
+	hasRem := LrT > 0 || nrL > 0
+	remPod, remLeaf := -1, -1
+	var remFull []int
+	var sIdx, srIdx []int
+	if !hasRem {
+		v := a.genViable(sMask)
+		if bits.OnesCount64(v) < nL {
+			return nil, false
+		}
+		sIdx = lowestBitsOf(v, nL)
+	} else {
+		// Try every unused pod as the remainder tree.
+		for p := 0; p < t.Pods && remPod < 0; p++ {
+			if sc.inUse[p] {
+				continue
+			}
+			if LrT == 0 {
+				sc.rsols = appendSol(sc.rsols[:0], nil, t.HalfMask())
+			} else {
+				sc.rsols = a.podSolutions(sc.rsols, sc.demand, p, LrT, nL, steps)
+			}
+			if *steps <= 0 {
+				return nil, false
+			}
+			sbase := p * t.L2PerPod
+			for _, rs := range sc.rsols {
+				// A: indices usable as S members against this pod.
+				var amask uint64
+				for i := 0; i < t.L2PerPod; i++ {
+					bit := uint64(1) << i
+					if sMask&bit == 0 || rs.mask&bit == 0 {
+						continue
+					}
+					if bits.OnesCount64(sc.f[i]) < lt {
+						continue
+					}
+					if bits.OnesCount64(sc.f[i]&sc.spine[sbase+i]) < LrT {
+						continue
+					}
+					amask |= bit
+				}
+				if bits.OnesCount64(amask) < nL {
 					continue
 				}
-				var saved [64]uint64
-				for i := 0; i < t.L2PerPod; i++ {
-					saved[i] = f[i]
-					f[i] &= spine[p][i]
+				if nrL == 0 {
+					remPod = p
+					remFull = rs.leaves
+					sIdx = lowestBitsOf(amask, nL)
+					break
 				}
-				if bits.OnesCount64(viable(nm)) >= nL {
-					chosen = append(chosen, p)
-					chosenSol = append(chosenSol, si)
-					inUse[p] = true
-					if part, ok := rec(p+1, nm); ok {
-						return part, true
+				// Remainder leaf: free nodes and uplinks into B, where B
+				// also supports one extra spine downlink. The remainder
+				// tree's full leaves are marked in a bitmask (within-pod
+				// leaf indices never exceed 64 for any supported radix).
+				var taken uint64
+				for _, l := range rs.leaves {
+					taken |= 1 << l
+				}
+				for l := 0; l < t.LeavesPerPod; l++ {
+					if taken&(1<<l) != 0 {
+						continue
 					}
-					inUse[p] = false
-					chosen = chosen[:len(chosen)-1]
-					chosenSol = chosenSol[:len(chosenSol)-1]
+					leafIdx := t.LeafIndex(p, l)
+					if a.st.FreeInLeaf(leafIdx) < nrL {
+						continue
+					}
+					up := a.st.LeafUpMask(leafIdx, sc.demand)
+					var bmask uint64
+					for i := 0; i < t.L2PerPod; i++ {
+						bit := uint64(1) << i
+						if amask&bit != 0 && up&bit != 0 &&
+							bits.OnesCount64(sc.f[i]&sc.spine[sbase+i]) >= LrT+1 {
+							bmask |= bit
+						}
+					}
+					if bits.OnesCount64(bmask) < nrL {
+						continue
+					}
+					srIdx = lowestBitsOf(bmask, nrL)
+					var srm uint64
+					for _, i := range srIdx {
+						srm |= 1 << i
+					}
+					rest := lowestBitsOf(amask&^srm, nL-nrL)
+					sIdx = append(append([]int{}, srIdx...), rest...)
+					sortInts(sIdx)
+					remPod, remLeaf = p, l
+					remFull = rs.leaves
+					break
 				}
-				for i := 0; i < t.L2PerPod; i++ {
-					f[i] = saved[i]
+				if remPod >= 0 {
+					break
 				}
 			}
 		}
-		return nil, false
+		if remPod < 0 {
+			return nil, false
+		}
 	}
-	return rec(0, t.HalfMask())
+
+	// Spine sets for i in S.
+	var srm uint64
+	for _, i := range srIdx {
+		srm |= 1 << i
+	}
+	rbase := 0
+	if remPod >= 0 {
+		rbase = remPod * t.L2PerPod
+	}
+	spineSet := map[int][]int{}
+	var spineSetR map[int][]int
+	if hasRem {
+		spineSetR = map[int][]int{}
+	}
+	for _, i := range sIdx {
+		if !hasRem {
+			spineSet[i] = lowestBitsOf(sc.f[i], lt)
+			continue
+		}
+		req := LrT
+		if srm&(1<<i) != 0 {
+			req++
+		}
+		rsel := lowestBitsOf(sc.f[i]&sc.spine[rbase+i], req)
+		var rm uint64
+		for _, s := range rsel {
+			rm |= 1 << s
+		}
+		all := append(append([]int{}, rsel...), lowestBitsOf(sc.f[i]&^rm, lt-req)...)
+		sortInts(all)
+		spineSet[i] = all
+		spineSetR[i] = rsel
+	}
+
+	trees := make([]partition.TreeAlloc, 0, sc.T+1)
+	for k, p := range sc.chosen {
+		leaves := make([]partition.LeafAlloc, 0, lt)
+		for _, l := range sc.sols[p][sc.chosenSol[k]].leaves {
+			leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+		}
+		trees = append(trees, partition.TreeAlloc{Pod: p, Leaves: leaves})
+	}
+	if hasRem {
+		leaves := make([]partition.LeafAlloc, 0, LrT+1)
+		for _, l := range remFull {
+			leaves = append(leaves, partition.LeafAlloc{Leaf: l, N: nL})
+		}
+		if nrL > 0 {
+			leaves = append(leaves, partition.LeafAlloc{Leaf: remLeaf, N: nrL})
+		}
+		trees = append(trees, partition.TreeAlloc{Pod: remPod, Leaves: leaves, Remainder: true})
+	}
+	return &partition.Partition{
+		NL: nL, LT: lt, S: sIdx, Sr: srIdx,
+		SpineSet: spineSet, SpineSetR: spineSetR,
+		Trees: trees,
+	}, true
 }
 
 func lowestBitsOf(m uint64, n int) []int {

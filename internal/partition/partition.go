@@ -66,6 +66,40 @@ type Partition struct {
 	Trees []TreeAlloc
 }
 
+// Clone returns a deep copy sharing no memory with p. The search kernels in
+// internal/core return partitions that alias their reusable Scratch buffers
+// (valid only until the next search on that scratch); callers that retain a
+// partition beyond that window clone it first.
+func (p *Partition) Clone() *Partition {
+	q := *p
+	if p.S != nil {
+		q.S = append(make([]int, 0, len(p.S)), p.S...)
+	}
+	if p.Sr != nil {
+		q.Sr = append(make([]int, 0, len(p.Sr)), p.Sr...)
+	}
+	if p.SpineSet != nil {
+		q.SpineSet = make(map[int][]int, len(p.SpineSet))
+		for k, v := range p.SpineSet {
+			q.SpineSet[k] = append(make([]int, 0, len(v)), v...)
+		}
+	}
+	if p.SpineSetR != nil {
+		q.SpineSetR = make(map[int][]int, len(p.SpineSetR))
+		for k, v := range p.SpineSetR {
+			q.SpineSetR[k] = append(make([]int, 0, len(v)), v...)
+		}
+	}
+	if p.Trees != nil {
+		q.Trees = make([]TreeAlloc, len(p.Trees))
+		for i, tr := range p.Trees {
+			q.Trees[i] = tr
+			q.Trees[i].Leaves = append(make([]LeafAlloc, 0, len(tr.Leaves)), tr.Leaves...)
+		}
+	}
+	return &q
+}
+
 // Size returns the total number of nodes in the partition.
 func (p *Partition) Size() int {
 	n := 0

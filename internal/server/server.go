@@ -496,6 +496,8 @@ type obs struct {
 	snap    engine.Snapshot
 	utilNow float64 // utilization from first arrival to the current clock
 	utilSS  float64 // steady-state utilization (drain excluded)
+	// Negative-feasibility cache counters (engine.Accounting).
+	feasHits, feasMisses, feasInvalidations int
 }
 
 func (s *Server) observe() (obs, error) {
@@ -509,6 +511,9 @@ func (s *Server) observe() (obs, error) {
 			end = acc.LastEnd
 		}
 		o.utilSS = metrics.SeriesUtilization(acc.UtilSeries, acc.FirstArrival, end, o.snap.TotalNodes)
+		o.feasHits = acc.FeasCacheHits
+		o.feasMisses = acc.FeasCacheMisses
+		o.feasInvalidations = acc.FeasCacheInvalidations
 	})
 	return o, err
 }
@@ -568,6 +573,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", o.utilSS)
 	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", o.snap.Now)
 	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", o.snap.PendingEvents)
+	mw.counter("jigsawd_feasibility_cache_hits_total", "Allocation attempts answered infeasible from the negative-feasibility cache without a search.", int64(o.feasHits))
+	mw.counter("jigsawd_feasibility_cache_misses_total", "Feasibility-cache consults that fell through to a real allocator search.", int64(o.feasMisses))
+	mw.counter("jigsawd_feasibility_cache_invalidations_total", "Times a state-version change discarded cached infeasibility verdicts.", int64(o.feasInvalidations))
 	s.latency.write(mw, "jigsawd_schedule_latency_seconds",
 		"Engine time per scheduling request (Submit/Cancel plus the event steps it triggers), measured on the engine goroutine; queue wait excluded.")
 	s.queueWait.write(mw, "jigsawd_request_queue_wait_seconds",

@@ -27,10 +27,21 @@ import (
 	"repro/internal/topology"
 )
 
+// leafCand is a claimable fully-free leaf; podCand a pod with its claimable
+// node count.
+type leafCand struct{ leaf, free int }
+type podCand struct{ pod, avail int }
+
 // Allocator implements alloc.Allocator under the TA rules.
 type Allocator struct {
 	tree *topology.FatTree
 	st   *topology.State
+
+	// leafCands/podCands are reusable candidate buffers for the multi-leaf
+	// allocation paths, so steady-state Allocate calls do not grow fresh
+	// slices. Clone deliberately leaves them nil (never shared).
+	leafCands []leafCand
+	podCands  []podCand
 }
 
 // NewAllocator returns a TA allocator for a pristine tree.
@@ -123,8 +134,7 @@ func (a *Allocator) allocLeafLevel(job topology.JobID, size int) (*topology.Plac
 // false without modifying pl if the eligible leaves cannot cover size.
 func (a *Allocator) claimLeaves(pl *topology.Placement, pod, size int) bool {
 	t := a.tree
-	type cand struct{ leaf, free int }
-	var cands []cand
+	cands := a.leafCands[:0]
 	total := 0
 	for l := 0; l < t.LeavesPerPod; l++ {
 		leafIdx := t.LeafIndex(pod, l)
@@ -132,10 +142,11 @@ func (a *Allocator) claimLeaves(pl *topology.Placement, pod, size int) bool {
 		// empty (no leaf-level jobs' nodes share its crossbar) and its
 		// uplinks unclaimed — exactly the state's untouched-leaf index.
 		if a.st.FullyFreeLeaf(leafIdx) {
-			cands = append(cands, cand{leafIdx, t.NodesPerLeaf})
+			cands = append(cands, leafCand{leafIdx, t.NodesPerLeaf})
 			total += t.NodesPerLeaf
 		}
 	}
+	a.leafCands = cands
 	if total < size {
 		return false
 	}
@@ -191,8 +202,7 @@ func (a *Allocator) allocPodLevel(job topology.JobID, size int) (*topology.Place
 // spine uplinks and each used leaf's uplinks.
 func (a *Allocator) allocMachineLevel(job topology.JobID, size int) (*topology.Placement, bool) {
 	t := a.tree
-	type cand struct{ pod, avail int }
-	var cands []cand
+	cands := a.podCands[:0]
 	total := 0
 pods:
 	for p := 0; p < t.Pods; p++ {
@@ -216,10 +226,11 @@ pods:
 			}
 		}
 		if avail > 0 {
-			cands = append(cands, cand{p, avail})
+			cands = append(cands, podCand{p, avail})
 			total += avail
 		}
 	}
+	a.podCands = cands
 	if total < size {
 		return nil, false
 	}
@@ -254,6 +265,13 @@ pods:
 	pl.Apply(a.st)
 	return pl, true
 }
+
+// FeasibilityClass implements alloc.FeasibilityClasser: TA's verdict for a
+// fixed state depends only on the requested size, so schedulers may memoize
+// negative verdicts per exact size. TA is not size-monotone — a 3-node job
+// can fail for want of a single leaf with 3 free nodes while a whole-leaf
+// multiple still fits — so it does not declare alloc.MonotoneFeasibility.
+func (a *Allocator) FeasibilityClass(topology.JobID) int32 { return 0 }
 
 // Release implements alloc.Allocator.
 func (a *Allocator) Release(p *topology.Placement) { p.Release(a.st) }

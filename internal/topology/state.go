@@ -52,6 +52,16 @@ import (
 // scheduler's reservation and backfill displacement checks run inside such
 // transactions on the live state instead of deep-cloning it.
 //
+// # Version counter
+//
+// Version() is a monotone mutation counter: every take/return mutator bumps
+// it, so two reads returning the same value bracket a window in which the
+// state provably did not change. Clone copies the current value (the copies
+// then advance independently), and Rollback bumps it once per undone entry —
+// the restored state reports a version it never reported before, which is
+// conservative and always safe for consumers that cache "size N failed at
+// version V" verdicts (see internal/engine's feasibility cache).
+//
 // The zero State is not usable; construct with NewState. State is not safe
 // for concurrent use.
 type State struct {
@@ -88,6 +98,12 @@ type State struct {
 	// exact inverse operations and never drift.
 	txnActive bool
 	journal   []journalEntry
+
+	// version is the monotone mutation counter behind Version(); every
+	// take/return mutator bumps it (including the undo mutators Rollback
+	// replays, which is what makes a rolled-back state report a fresh,
+	// never-before-seen version).
+	version uint64
 }
 
 // journalEntry is one recorded mutation. Node entries carry the owner needed
@@ -247,9 +263,16 @@ func (s *State) Clone() *State {
 		podFree:       append([]int32(nil), s.podFree...),
 		podSpineBusy:  append([]int32(nil), s.podSpineBusy...),
 		scanQueries:   s.scanQueries,
+		version:       s.version,
 	}
 	return c
 }
+
+// Version returns the state's monotone mutation counter. Equal values from
+// the same State bracket a window with no mutations; a clone starts at its
+// parent's value and the two advance independently afterwards, so versions
+// are only comparable within one State instance.
+func (s *State) Version() uint64 { return s.version }
 
 // SetScanQueries forces (or stops forcing) every availability query to
 // recompute from raw residuals, ignoring the incremental indices. Clones
@@ -489,6 +512,9 @@ func (s *State) takeNodes(leafIdx, n int, job JobID) []NodeID {
 	if int(s.freeCnt[leafIdx]) < n {
 		panic(fmt.Sprintf("topology: leaf %d has %d free nodes, need %d", leafIdx, s.freeCnt[leafIdx], n))
 	}
+	if n > 0 {
+		s.version++
+	}
 	out := make([]NodeID, 0, n)
 	m := s.freeNode[leafIdx]
 	for k := 0; k < n; k++ {
@@ -512,6 +538,7 @@ func (s *State) retakeNode(n NodeID, job JobID) {
 	if s.freeNode[leafIdx]&(1<<slot) == 0 {
 		panic(fmt.Sprintf("topology: node %d not free on re-take", n))
 	}
+	s.version++
 	s.freeNode[leafIdx] &^= 1 << slot
 	s.nodeOwner[n] = job
 	s.record(opNodeTake, int(n), 0, 0)
@@ -523,6 +550,7 @@ func (s *State) returnNode(n NodeID) {
 	if s.nodeOwner[n] == 0 {
 		panic(fmt.Sprintf("topology: double free of node %d", n))
 	}
+	s.version++
 	s.record(opNodeReturn, int(n), 0, s.nodeOwner[n])
 	s.nodeOwner[n] = 0
 	leafIdx := int(n) / s.Tree.NodesPerLeaf
@@ -538,6 +566,7 @@ func (s *State) takeLeafUp(leafIdx, i int, demand int32) {
 		panic(fmt.Sprintf("topology: leaf %d uplink %d over-allocated (%d < %d)", leafIdx, i, *r, demand))
 	}
 	if demand != 0 {
+		s.version++
 		s.record(opLeafUp, leafIdx*s.Tree.L2PerPod+i, -demand, 0)
 	}
 	wasFull := *r == s.Capacity
@@ -555,6 +584,7 @@ func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
 		panic(fmt.Sprintf("topology: pod %d L2 %d spine %d over-allocated (%d < %d)", pod, l2, sp, *r, demand))
 	}
 	if demand != 0 {
+		s.version++
 		s.record(opSpineUp, (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp, -demand, 0)
 	}
 	wasFull := *r == s.Capacity
@@ -568,6 +598,7 @@ func (s *State) takeSpineUp(pod, l2, sp int, demand int32) {
 func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
 	r := &s.leafUp[leafIdx*s.Tree.L2PerPod+i]
 	if demand != 0 {
+		s.version++
 		s.record(opLeafUp, leafIdx*s.Tree.L2PerPod+i, demand, 0)
 	}
 	*r += demand
@@ -583,6 +614,7 @@ func (s *State) returnLeafUp(leafIdx, i int, demand int32) {
 func (s *State) returnSpineUp(pod, l2, sp int, demand int32) {
 	r := &s.spineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
 	if demand != 0 {
+		s.version++
 		s.record(opSpineUp, (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp, demand, 0)
 	}
 	*r += demand

@@ -1,0 +1,79 @@
+package topology
+
+import "testing"
+
+// TestVersionCounter pins the mutation-counter contract the engine's
+// feasibility cache depends on: reads never move it, every take/return
+// does, clones copy it and then advance independently, and a rollback
+// leaves the state at a version it never reported before.
+func TestVersionCounter(t *testing.T) {
+	tree := MustNew(8)
+	st := NewState(tree, 1)
+	v0 := st.Version()
+
+	// Reads do not bump.
+	_ = st.FreeNodes()
+	_ = st.FreeInLeaf(0)
+	_ = st.LeafUpMask(0, 1)
+	_ = st.SpineMask(0, 0, 1)
+	if st.Version() != v0 {
+		t.Fatalf("read-only queries moved the version: %d -> %d", v0, st.Version())
+	}
+
+	// A placement's Apply and Release both bump.
+	pl := NewPlacement(1, 1)
+	pl.AddLeafNodes(0, 2)
+	pl.AddLeafUp(0, 0)
+	pl.Apply(st)
+	v1 := st.Version()
+	if v1 <= v0 {
+		t.Fatalf("Apply did not bump the version: %d -> %d", v0, v1)
+	}
+	pl.Release(st)
+	if st.Version() <= v1 {
+		t.Fatalf("Release did not bump the version: %d -> %d", v1, st.Version())
+	}
+
+	// Clone copies the current value; afterwards the two advance apart.
+	pl2 := NewPlacement(2, 1)
+	pl2.AddLeafNodes(1, 1)
+	c := st.Clone()
+	if c.Version() != st.Version() {
+		t.Fatalf("clone version %d != parent %d", c.Version(), st.Version())
+	}
+	pl2.Apply(c)
+	if c.Version() == st.Version() {
+		t.Fatal("clone mutation moved the parent's version")
+	}
+
+	// Rollback restores the state but reports a strictly newer version than
+	// any seen during the transaction: a consumer holding a pre-transaction
+	// version must observe a change.
+	vPre := st.Version()
+	st.Begin()
+	pl3 := NewPlacement(3, 1)
+	pl3.AddLeafNodes(2, 3)
+	pl3.Apply(st)
+	vIn := st.Version()
+	if vIn <= vPre {
+		t.Fatalf("in-transaction mutation did not bump: %d -> %d", vPre, vIn)
+	}
+	st.Rollback()
+	if st.Version() <= vIn {
+		t.Fatalf("rollback must land on a fresh version, got %d (in-txn %d)", st.Version(), vIn)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A committed transaction keeps its in-transaction version.
+	st.Begin()
+	pl4 := NewPlacement(4, 1)
+	pl4.AddLeafNodes(3, 1)
+	pl4.Apply(st)
+	vc := st.Version()
+	st.Commit()
+	if st.Version() != vc {
+		t.Fatalf("commit changed the version: %d -> %d", vc, st.Version())
+	}
+}
