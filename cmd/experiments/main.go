@@ -3,6 +3,7 @@
 // Usage:
 //
 //	experiments [-run all|table1|fig6|table2|fig7|fig8|table3] [-scale 0.1] [-workers N]
+//	            [-fail-trace events.txt] [-fail-policy requeue]
 //
 // -scale shrinks trace job counts for quick runs; 1.0 reproduces the paper's
 // job counts (and a correspondingly long runtime, hours when LC+S is
@@ -11,6 +12,11 @@
 // -workers bounds how many simulation cells run concurrently (default: one
 // per CPU). Output is byte-identical for every worker count; only Table 3's
 // wall-clock timings are affected — use -workers 1 for faithful timings.
+//
+// -fail-trace replays a fault-injection file (see internal/failtrace for the
+// format) inside every simulation cell, measuring the schedulers on a
+// degraded fabric; -fail-policy picks what happens to running jobs hit by a
+// failure (requeue, kill, or shrink-none).
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/failtrace"
 )
 
 func main() {
@@ -26,9 +34,25 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "trace scale factor in (0, 1]; 1.0 = paper job counts")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of text tables (fig6, table2, fig7, fig8, table3)")
 	workers := flag.Int("workers", 0, "concurrent simulation cells; 0 = one per CPU (output is identical for any value)")
+	failTrace := flag.String("fail-trace", "", "fault-injection trace replayed in every simulation cell (see internal/failtrace)")
+	failPolicy := flag.String("fail-policy", "requeue", "what happens to running jobs hit by a failure: requeue|kill|shrink-none")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Workers: *workers, MeasureTime: true}
+	if *failTrace != "" {
+		events, err := failtrace.ParseFile(*failTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		cfg.FailEvents = events
+	}
+	policy, err := engine.ParseFailurePolicy(*failPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	cfg.FailPolicy = policy
 	runners := map[string]func(experiments.Config) error{
 		"all":    experiments.All,
 		"table1": experiments.Table1,

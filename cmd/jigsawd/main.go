@@ -6,7 +6,7 @@
 // Usage:
 //
 //	jigsawd [-addr :8080] [-radix 16] [-policy jigsaw] [-clock wall|virtual]
-//	        [-scenario None] [-window 50] [-no-backfill] [-v]
+//	        [-scenario None] [-window 50] [-no-backfill] [-fail-policy requeue] [-v]
 //
 // With -clock virtual the daemon fast-forwards through events whenever it is
 // idle, which replays a submitted trace as fast as the allocator can place
@@ -19,6 +19,8 @@
 //	jigsawd -addr :8080 -radix 16 -policy jigsaw
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"size":64,"runtime":3600}'
 //	curl -s localhost:8080/v1/cluster
+//	curl -s -X POST localhost:8080/v1/fail -d '{"kind":"leaf-switch","leaf":2}'
+//	curl -s -X POST localhost:8080/v1/recover -d '{"kind":"leaf-switch","leaf":2}'
 //	curl -s localhost:8080/metrics | grep jigsawd_utilization
 package main
 
@@ -33,6 +35,7 @@ import (
 	"syscall"
 
 	jigsaw "repro"
+	"repro/internal/engine"
 	"repro/internal/server"
 )
 
@@ -45,17 +48,22 @@ func main() {
 		scenarioN  = flag.String("scenario", "None", "speed-up scenario applied to isolated jobs: None|5%|10%|20%|V2|Random")
 		window     = flag.Int("window", jigsaw.DefaultWindow, "EASY backfill lookahead window")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfilling (pure FIFO)")
+		failPolicy = flag.String("fail-policy", "requeue", "what happens to running jobs hit by POST /v1/fail: requeue|kill|shrink-none")
 		verbose    = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *verbose); err != nil {
+	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *failPolicy, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "jigsawd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill, verbose bool) error {
+func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill bool, failPolicy string, verbose bool) error {
 	scheme, err := canonicalScheme(policy)
+	if err != nil {
+		return err
+	}
+	onFailure, err := engine.ParseFailurePolicy(failPolicy)
 	if err != nil {
 		return err
 	}
@@ -92,6 +100,7 @@ func run(addr string, radix int, policy, clock, scenarioName string, window int,
 		ApplySpeedups:   scheme != jigsaw.SchemeBaseline,
 		Window:          window,
 		DisableBackfill: noBackfill,
+		OnFailure:       onFailure,
 		VirtualClock:    virtual,
 		Logger:          logger,
 	})

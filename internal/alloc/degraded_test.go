@@ -1,0 +1,129 @@
+package alloc_test
+
+// Degraded-fabric conformance: with resources failed via the sentinel-owner
+// model, every policy must keep allocating correctly — never on a failed
+// node or uplink — through a randomized allocate/release history, with the
+// state invariants audited throughout. The failure model only works if every
+// policy sees failures as ordinary occupancy; this pins that for all six.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// degradeFabric applies a fixed, mutually disjoint failure set to a radix-8
+// state: one whole leaf, two lone nodes, one leaf uplink, one spine uplink.
+func degradeFabric(t *testing.T, st *topology.State) (failedNodes int) {
+	t.Helper()
+	for _, f := range []topology.Failure{
+		topology.LeafSwitchFailure(2),
+		topology.NodeFailure(4),
+		topology.NodeFailure(29),
+		topology.LeafUplinkFailure(5, 1),
+		topology.SpineUplinkFailure(3, 2, 0),
+	} {
+		if err := f.Apply(st); err != nil {
+			t.Fatalf("apply %v: %v", f, err)
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return st.FailedNodes()
+}
+
+// assertAvoidsFailures fails the test if the placement touches any failed
+// resource. Pending entries (negative node IDs) are resolved against free
+// nodes at apply time and can never land on a failed node — its owner is the
+// failure sentinel, so it is not free.
+func assertAvoidsFailures(t *testing.T, st *topology.State, p *topology.Placement) {
+	t.Helper()
+	for _, n := range p.Nodes {
+		if n >= 0 && st.NodeFailed(n) {
+			t.Fatalf("job %d placed on failed node %d", p.Job, n)
+		}
+	}
+	for _, u := range p.LeafUps {
+		if st.LeafUplinkFailed(int(u.Leaf), int(u.L2)) {
+			t.Fatalf("job %d placed on failed leaf uplink %d/%d", p.Job, u.Leaf, u.L2)
+		}
+	}
+	for _, u := range p.SpineUps {
+		if st.SpineUplinkFailed(int(u.Pod), int(u.L2), int(u.Spine)) {
+			t.Fatalf("job %d placed on failed spine uplink %d/%d/%d", p.Job, u.Pod, u.L2, u.Spine)
+		}
+	}
+}
+
+func TestAllocatorsAvoidFailedResources(t *testing.T) {
+	for _, policy := range allPolicies {
+		t.Run(policy, func(t *testing.T) {
+			tree := topology.MustNew(8)
+			a := newPolicy(t, policy, tree)
+			st := a.State()
+			failedNodes := degradeFabric(t, st)
+
+			rng := rand.New(rand.NewSource(23))
+			type liveJob struct {
+				p *topology.Placement
+			}
+			var live []liveJob
+			nextJob := topology.JobID(1)
+			for step := 0; step < 500; step++ {
+				if rng.Intn(3) < 2 || len(live) == 0 {
+					size := 1 + rng.Intn(tree.Nodes()/2)
+					p, ok := a.Allocate(nextJob, size)
+					if ok {
+						assertAvoidsFailures(t, st, p)
+						live = append(live, liveJob{p: p})
+						nextJob++
+					}
+				} else {
+					i := rng.Intn(len(live))
+					a.Release(live[i].p)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			for _, j := range live {
+				a.Release(j.p)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if free := a.FreeNodes(); free != tree.Nodes()-failedNodes {
+				t.Fatalf("free nodes %d after drain, want %d (machine minus %d failed)",
+					free, tree.Nodes()-failedNodes, failedNodes)
+			}
+
+			// The whole degraded machine must still be allocatable in one
+			// piece for node-count policies, and partial recovery must
+			// re-offer capacity: heal everything and take the full machine.
+			for _, f := range []topology.Failure{
+				topology.LeafSwitchFailure(2),
+				topology.NodeFailure(4),
+				topology.NodeFailure(29),
+				topology.LeafUplinkFailure(5, 1),
+				topology.SpineUplinkFailure(3, 2, 0),
+			} {
+				if err := f.Revert(st); err != nil {
+					t.Fatalf("revert %v: %v", f, err)
+				}
+			}
+			p, ok := a.Allocate(nextJob, tree.Nodes())
+			if !ok {
+				t.Fatal("whole-machine allocation failed after full recovery")
+			}
+			assertAvoidsFailures(t, st, p)
+			a.Release(p)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -86,6 +86,52 @@ type Config struct {
 	// cache never changes scheduling outcomes — see DESIGN.md §11 — so this
 	// exists for differential tests and measurement, not correctness.
 	DisableFeasibilityCache bool
+	// OnFailure selects what happens to running jobs whose allocation
+	// intersects an injected failure (Fail). The zero value is FailRequeue.
+	OnFailure FailurePolicy
+}
+
+// FailurePolicy selects the engine's treatment of running jobs hit by a
+// failure (DESIGN.md §12).
+type FailurePolicy int
+
+const (
+	// FailRequeue returns affected jobs to the back of the queue; they
+	// rerun from scratch (full runtime) once resources allow.
+	FailRequeue FailurePolicy = iota
+	// FailKill terminates affected jobs permanently (StateKilled).
+	FailKill
+	// FailShrinkNone is requeue with the no-shrink contract made explicit:
+	// the engine never tries to shrink a job onto its surviving resources —
+	// the whole job is requeued. Behaviorally identical to FailRequeue
+	// today; a distinct name so a future shrink-capable policy can slot in.
+	FailShrinkNone
+)
+
+// String returns the wire name used by flags and the HTTP API.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailRequeue:
+		return "requeue"
+	case FailKill:
+		return "kill"
+	case FailShrinkNone:
+		return "shrink-none"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseFailurePolicy inverts FailurePolicy.String.
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch s {
+	case "requeue", "":
+		return FailRequeue, nil
+	case "kill":
+		return FailKill, nil
+	case "shrink-none":
+		return FailShrinkNone, nil
+	}
+	return 0, fmt.Errorf("engine: unknown failure policy %q", s)
 }
 
 // State is the lifecycle stage of a submitted job.
@@ -98,6 +144,9 @@ const (
 	StateCompleted
 	StateRejected
 	StateCancelled
+	// StateKilled marks a job terminated by a resource failure under the
+	// FailKill policy. (Requeued jobs go back to StateQueued instead.)
+	StateKilled
 )
 
 // String returns the lowercase wire name used by the HTTP API.
@@ -113,13 +162,18 @@ func (s State) String() string {
 		return "rejected"
 	case StateCancelled:
 		return "cancelled"
+	case StateKilled:
+		return "killed"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
-// Counts tallies job outcomes over the engine's lifetime.
+// Counts tallies job outcomes over the engine's lifetime. Requeued counts
+// failure-induced requeues (a job requeued twice counts twice); Killed counts
+// jobs terminated by failures under the FailKill policy.
 type Counts struct {
 	Submitted, Started, Completed, Rejected, Cancelled int64
+	Requeued, Killed                                   int64
 }
 
 // Record is the outcome of one completed job.
@@ -172,6 +226,9 @@ type Accounting struct {
 	// discarded a non-empty cache. All three stay zero when the cache is
 	// disabled or the allocator does not support it.
 	FeasCacheHits, FeasCacheMisses, FeasCacheInvalidations int
+	// Killed lists jobs terminated by failures under the FailKill policy
+	// (empty unless Fail was called on a kill-policy engine).
+	Killed []trace.Job
 }
 
 // JobStatus is a point-in-time view of one submitted job.
@@ -199,6 +256,11 @@ type Snapshot struct {
 	Queue   []JobStatus
 	Running []JobStatus
 	Counts  Counts
+	// FailedNodes/FailedLinks/FailedSwitches count the currently-failed
+	// resources; all zero on a healthy fabric.
+	FailedNodes    int
+	FailedLinks    int
+	FailedSwitches int
 }
 
 // jobItem is a submitted job with its effective runtime and lifecycle state.
@@ -298,6 +360,12 @@ type Engine struct {
 	feasFailed map[feasKey]struct{}
 	// feasMin is the monotone-mode threshold; maxInt means "nothing failed".
 	feasMin int
+
+	// failed holds the active failure specs injected via Fail (nil until
+	// the first failure — a healthy engine carries no failure bookkeeping);
+	// failedSwitches counts the switch-kind entries for the metrics.
+	failed         map[topology.Failure]struct{}
+	failedSwitches int
 
 	acc         Accounting
 	counts      Counts
@@ -449,6 +517,138 @@ func (e *Engine) Cancel(id int64) (JobStatus, error) {
 	return it.status(), nil
 }
 
+// FailReport summarizes one failure injection: how many running jobs the
+// failure hit and what became of them under the engine's FailurePolicy.
+type FailReport struct {
+	Affected int
+	Requeued int
+	Killed   int
+}
+
+// Fail injects a resource failure at the current virtual time. Running jobs
+// whose allocation intersects the failure are released and, per
+// Config.OnFailure, requeued (back of the queue, full rerun) or killed.
+// The failure is then applied to the live state through the sentinel-owner
+// take path (topology/failure.go), so no later placement can touch the
+// failed resources; the scheduler immediately reconsiders the queue on
+// whatever capacity survives. Duplicate injections of an active spec are
+// rejected.
+func (e *Engine) Fail(f topology.Failure) (FailReport, error) {
+	tree := e.cfg.Alloc.Tree()
+	if err := f.Validate(tree); err != nil {
+		return FailReport{}, err
+	}
+	if _, dup := e.failed[f]; dup {
+		return FailReport{}, fmt.Errorf("engine: %v already failed", f)
+	}
+
+	// Release every running job the failure touches, deterministically by
+	// job ID (e.running is a map).
+	var affected []*runningJob
+	for rj := range e.running {
+		if f.Intersects(tree, rj.pl) {
+			affected = append(affected, rj)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].it.j.ID < affected[j].it.j.ID })
+	now := e.now
+	var rep FailReport
+	rep.Affected = len(affected)
+	for _, rj := range affected {
+		rj.cancelled = true // tombstone the pending completion event
+		e.cfg.Alloc.Release(rj.pl)
+		delete(e.running, rj)
+		it := rj.it
+		e.used -= it.j.Size
+		it.rj = nil
+		if e.cfg.OnFailure == FailKill {
+			it.state = StateKilled
+			it.end = now
+			e.counts.Killed++
+			rep.Killed++
+			e.acc.Killed = append(e.acc.Killed, it.j)
+		} else { // FailRequeue and FailShrinkNone: whole-job requeue
+			it.state = StateQueued
+			it.start, it.end = 0, 0
+			e.queue = append(e.queue, it)
+			e.counts.Requeued++
+			rep.Requeued++
+		}
+	}
+	if len(affected) > 0 {
+		e.pushUtil(now)
+		// An aborted run segment ends work like a completion or a
+		// cancellation does.
+		if now > e.acc.LastEnd {
+			e.acc.LastEnd = now
+		}
+	}
+
+	// With every intersecting holder released the failure's resources are
+	// free, so the sentinel take cannot be blocked by a job; it can only be
+	// rejected for overlapping an earlier failure of the same component.
+	if err := f.Apply(e.cfg.Alloc.State()); err != nil {
+		if len(affected) > 0 {
+			// Released jobs for a failure that then refused to apply —
+			// Intersects and Apply disagree, which is a bug, not an input
+			// error.
+			panic(fmt.Sprintf("engine: failure %v released %d jobs but did not apply: %v", f, len(affected), err))
+		}
+		return FailReport{}, err
+	}
+	if e.failed == nil {
+		e.failed = map[topology.Failure]struct{}{}
+	}
+	e.failed[f] = struct{}{}
+	if f.Kind == topology.FailureLeafSwitch || f.Kind == topology.FailureL2Switch || f.Kind == topology.FailureSpineSwitch {
+		e.failedSwitches++
+	}
+
+	// The failure both released resources (affected jobs) and consumed
+	// others (the failed set): every cached verdict is suspect.
+	e.releaseEpoch++
+	e.cancelEpoch++
+	e.schedule(now)
+	e.observe(now)
+	return rep, nil
+}
+
+// Recover returns a previously-injected failure's resources to service and
+// immediately offers the recovered capacity to the queue. Only specs that
+// are active (injected by Fail and not yet recovered) are accepted; when
+// overlapping switch and component failures were injected, recover them in
+// reverse injection order (topology/failure.go documents the overlap rules).
+func (e *Engine) Recover(f topology.Failure) error {
+	if _, ok := e.failed[f]; !ok {
+		return fmt.Errorf("engine: %v is not an active failure", f)
+	}
+	if err := f.Revert(e.cfg.Alloc.State()); err != nil {
+		return err
+	}
+	delete(e.failed, f)
+	if f.Kind == topology.FailureLeafSwitch || f.Kind == topology.FailureL2Switch || f.Kind == topology.FailureSpineSwitch {
+		e.failedSwitches--
+	}
+	e.releaseEpoch++
+	e.cancelEpoch++
+	e.schedule(e.now)
+	e.observe(e.now)
+	return nil
+}
+
+// Degraded reports whether any injected failure is still active.
+func (e *Engine) Degraded() bool { return len(e.failed) > 0 }
+
+// FailedResources returns the current counts of failed nodes, links, and
+// switch-level failure specs.
+func (e *Engine) FailedResources() (nodes, links, switches int) {
+	if e.failed == nil {
+		return 0, 0, 0
+	}
+	st := e.cfg.Alloc.State()
+	return st.FailedNodes(), st.FailedLinks(), e.failedSwitches
+}
+
 // Step advances the clock to the next pending event timestamp, delivers
 // every event at that instant (completions before arrivals), and runs the
 // scheduler. It returns the new time and false when no events remain.
@@ -503,6 +703,12 @@ func (e *Engine) Snapshot() Snapshot {
 		RunningJobs:   len(e.running),
 		PendingEvents: e.events.Len(),
 		Counts:        e.counts,
+	}
+	if e.failed != nil {
+		st := e.cfg.Alloc.State()
+		s.FailedNodes = st.FailedNodes()
+		s.FailedLinks = st.FailedLinks()
+		s.FailedSwitches = e.failedSwitches
 	}
 	s.Queue = make([]JobStatus, 0, len(e.queue))
 	for _, it := range e.queue {
@@ -703,6 +909,14 @@ func (e *Engine) schedule(now float64) {
 			e.resvShadow, e.resvSnap, e.resvOK = shadow, snap, ok
 		}
 		if !ok {
+			if len(e.failed) > 0 {
+				// The head does not fit even on a drained machine — but the
+				// machine is degraded, and recovery may restore enough
+				// capacity. Hold the job instead of rejecting it (backfill
+				// pauses too: with no shadow time there is no displacement
+				// bound). Rejection verdicts resume once the fabric heals.
+				return
+			}
 			// The head cannot run even on a drained machine: reject it and
 			// reschedule the rest.
 			head.state = StateRejected

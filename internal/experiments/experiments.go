@@ -23,6 +23,8 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/failtrace"
 	"repro/internal/jigsaws"
 	"repro/internal/laas"
 	"repro/internal/lcs"
@@ -55,6 +57,12 @@ type Config struct {
 	// Workers=1 (concurrent cells contend for the CPU and inflate each
 	// other's measurements).
 	Workers int
+	// FailEvents injects the same timed resource failures into every
+	// simulation cell (cmd/experiments -fail-trace); empty reproduces the
+	// paper's healthy-fabric runs bit for bit.
+	FailEvents []failtrace.Event
+	// FailPolicy picks what happens to running jobs hit by a failure.
+	FailPolicy engine.FailurePolicy
 }
 
 func (c Config) out() io.Writer {
@@ -111,8 +119,13 @@ func TreeFor(tr *trace.Trace) (*topology.FatTree, error) {
 	return topology.New(radix)
 }
 
-// Run simulates one trace under one scheme and scenario.
+// Run simulates one trace under one scheme and scenario on a healthy fabric.
 func Run(tr *trace.Trace, scheme string, sc scenario.Scenario, measureTime bool) (*sched.Result, error) {
+	return Config{}.run(tr, scheme, sc, measureTime)
+}
+
+// run simulates one cell, injecting the config's fail events if any.
+func (c Config) run(tr *trace.Trace, scheme string, sc scenario.Scenario, measureTime bool) (*sched.Result, error) {
 	tree, err := TreeFor(tr)
 	if err != nil {
 		return nil, err
@@ -123,6 +136,8 @@ func Run(tr *trace.Trace, scheme string, sc scenario.Scenario, measureTime bool)
 	}
 	s := sched.New(a, sc)
 	s.MeasureAllocTime = measureTime
+	s.FailEvents = c.FailEvents
+	s.OnFailure = c.FailPolicy
 	return s.Run(tr)
 }
 
@@ -156,7 +171,7 @@ func Figure6Data(cfg Config) ([]Fig6Row, error) {
 	utils := make([]float64, len(traces)*len(Schemes))
 	err := cfg.forEachCell(len(utils), func(i int) error {
 		tr, scheme := traces[i/len(Schemes)], Schemes[i%len(Schemes)]
-		res, err := Run(tr, scheme, scenario.None{}, false)
+		res, err := cfg.run(tr, scheme, scenario.None{}, false)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", tr.Name, scheme, err)
 		}
@@ -206,7 +221,7 @@ func Table2Data(cfg Config) (map[string][]int, error) {
 	schemes := []string{"LaaS", "Jigsaw", "TA"}
 	hists := make([][]int, len(schemes))
 	err := cfg.forEachCell(len(schemes), func(i int) error {
-		res, err := Run(tr, schemes[i], scenario.None{}, false)
+		res, err := cfg.run(tr, schemes[i], scenario.None{}, false)
 		if err != nil {
 			return err
 		}
@@ -268,7 +283,7 @@ func Figure7Data(cfg Config, tr *trace.Trace) (*Fig7Data, error) {
 	raw := make([]pair, 1+len(scs)*len(IsolatingSchemes))
 	err := cfg.forEachCell(len(raw), func(i int) error {
 		if i == 0 {
-			base, err := Run(tr, "Baseline", scenario.None{}, false)
+			base, err := cfg.run(tr, "Baseline", scenario.None{}, false)
 			if err != nil {
 				return err
 			}
@@ -277,7 +292,7 @@ func Figure7Data(cfg Config, tr *trace.Trace) (*Fig7Data, error) {
 		}
 		sc := scs[(i-1)/len(IsolatingSchemes)]
 		scheme := IsolatingSchemes[(i-1)%len(IsolatingSchemes)]
-		res, err := Run(tr, scheme, sc, false)
+		res, err := cfg.run(tr, scheme, sc, false)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
 		}
@@ -341,7 +356,7 @@ func Figure8Data(cfg Config, tr *trace.Trace) (*Fig8Data, error) {
 	raw := make([]float64, 1+len(scs)*len(IsolatingSchemes))
 	err := cfg.forEachCell(len(raw), func(i int) error {
 		if i == 0 {
-			base, err := Run(tr, "Baseline", scenario.None{}, false)
+			base, err := cfg.run(tr, "Baseline", scenario.None{}, false)
 			if err != nil {
 				return err
 			}
@@ -350,7 +365,7 @@ func Figure8Data(cfg Config, tr *trace.Trace) (*Fig8Data, error) {
 		}
 		sc := scs[(i-1)/len(IsolatingSchemes)]
 		scheme := IsolatingSchemes[(i-1)%len(IsolatingSchemes)]
-		res, err := Run(tr, scheme, sc, false)
+		res, err := cfg.run(tr, scheme, sc, false)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%s: %w", tr.Name, scheme, sc.Name(), err)
 		}
@@ -413,7 +428,7 @@ func Table3Data(cfg Config) (map[string]map[string]float64, []string, error) {
 	err := cfg.forEachCell(len(times), func(i int) error {
 		tr := traces[i/len(IsolatingSchemes)]
 		scheme := IsolatingSchemes[i%len(IsolatingSchemes)]
-		res, err := Run(tr, scheme, scenario.None{}, cfg.MeasureTime)
+		res, err := cfg.run(tr, scheme, scenario.None{}, cfg.MeasureTime)
 		if err != nil {
 			return err
 		}

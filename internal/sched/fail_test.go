@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failtrace"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+func parseFailTrace(t *testing.T, text string) []failtrace.Event {
+	t.Helper()
+	events, err := failtrace.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestRunWithFailEvents(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := New(core.NewAllocator(tree), scenario.None{})
+	s.MeasureAllocTime = false
+	s.FailEvents = parseFailTrace(t, "5 fail leaf-switch 0\n20 recover leaf-switch 0\n")
+	// Whole-machine jobs guarantee the leaf-switch failure hits the running
+	// one; the rest queue behind it and complete after recovery.
+	res, err := s.Run(tr(16, job(1, 16, 0, 10), job(2, 16, 1, 10), job(3, 16, 2, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 || len(res.Rejected) != 0 {
+		t.Fatalf("%d records, %d rejected", len(res.Records), len(res.Rejected))
+	}
+}
+
+func TestRunFailEventsStrandedQueue(t *testing.T) {
+	tree := topology.MustNew(4)
+	s := New(core.NewAllocator(tree), scenario.None{})
+	s.MeasureAllocTime = false
+	// The node never recovers, so the whole-machine job can never restart;
+	// Run must say so rather than drop it from the records.
+	s.FailEvents = parseFailTrace(t, "5 fail node 0\n")
+	_, err := s.Run(tr(16, job(1, 16, 0, 10)))
+	if err == nil || !strings.Contains(err.Error(), "still queued") {
+		t.Fatalf("err = %v, want stranded-queue error", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/engine"
+	"repro/internal/failtrace"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -46,6 +47,11 @@ type Scheduler struct {
 	// MeasureAllocTime records wall-clock time spent in Allocate calls on
 	// the live state (Table 3). Disable for deterministic tests.
 	MeasureAllocTime bool
+	// FailEvents injects timed resource failures during Run, interleaved
+	// with job arrivals and completions; empty leaves the run untouched.
+	FailEvents []failtrace.Event
+	// OnFailure picks what happens to running jobs hit by a failure.
+	OnFailure engine.FailurePolicy
 }
 
 // New returns a scheduler with the paper's defaults. Speed-ups apply unless
@@ -106,6 +112,7 @@ func (s *Scheduler) Engine() (*engine.Engine, error) {
 		DisableBackfill:  s.DisableBackfill,
 		Conservative:     s.Conservative,
 		ApplySpeedups:    s.ApplySpeedups,
+		OnFailure:        s.OnFailure,
 		MeasureAllocTime: s.MeasureAllocTime,
 	})
 }
@@ -129,9 +136,22 @@ func (s *Scheduler) Run(tr *trace.Trace) (*Result, error) {
 			return nil, err
 		}
 	}
+	if len(s.FailEvents) > 0 {
+		if _, err := failtrace.Replay(eng, s.FailEvents); err != nil {
+			return nil, err
+		}
+	}
 	for {
 		if _, ok := eng.Step(); !ok {
 			break
+		}
+	}
+	if len(s.FailEvents) > 0 {
+		// A still-degraded machine can strand queued jobs (rejection verdicts
+		// are suspended while failures are active); surface that instead of
+		// returning a result with jobs silently missing.
+		if snap := eng.Snapshot(); snap.QueueDepth > 0 {
+			return nil, fmt.Errorf("sched: %d jobs still queued on a degraded machine; recover resources in the fail trace", snap.QueueDepth)
 		}
 	}
 	return ResultFrom(eng, tr.Name)

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/alloc"
@@ -308,7 +309,7 @@ func TestRunDoesNotMutateScheduler(t *testing.T) {
 	if _, err := s.Run(tr(16, job(1, 4, 0, 10), job(2, 8, 1, 5))); err != nil {
 		t.Fatal(err)
 	}
-	if s != before {
+	if !reflect.DeepEqual(s, before) {
 		t.Fatalf("Run mutated the scheduler: before %+v after %+v", before, s)
 	}
 	if s.Window != 0 {

@@ -1,0 +1,142 @@
+package server
+
+// Fault-injection surface: POST /v1/fail and POST /v1/recover mark fabric
+// resources down or back up on the live engine, and /healthz reports the
+// degraded state. See internal/topology's failure model for what each kind
+// means and internal/engine for the requeue/kill policy applied to running
+// jobs hit by a failure.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+// failRequest is the POST /v1/fail and /v1/recover body. Kind selects the
+// resource; the other fields identify it:
+//
+//	{"kind":"node","node":5}
+//	{"kind":"leaf-uplink","leaf":3,"l2":1}
+//	{"kind":"spine-uplink","pod":2,"l2":0,"spine":3}
+//	{"kind":"leaf-switch","leaf":2}
+//	{"kind":"l2-switch","pod":0,"l2":1}
+//	{"kind":"spine-switch","group":1,"spine":2}
+type failRequest struct {
+	Kind  string `json:"kind"`
+	Node  int32  `json:"node"`
+	Leaf  int    `json:"leaf"`
+	Pod   int    `json:"pod"`
+	L2    int    `json:"l2"`
+	Group int    `json:"group"`
+	Spine int    `json:"spine"`
+}
+
+// failure converts the wire form to a topology.Failure spec.
+func (r failRequest) failure() (topology.Failure, error) {
+	kind, err := topology.ParseFailureKind(r.Kind)
+	if err != nil {
+		return topology.Failure{}, err
+	}
+	switch kind {
+	case topology.FailureNode:
+		return topology.NodeFailure(topology.NodeID(r.Node)), nil
+	case topology.FailureLeafUplink:
+		return topology.LeafUplinkFailure(r.Leaf, r.L2), nil
+	case topology.FailureSpineUplink:
+		return topology.SpineUplinkFailure(r.Pod, r.L2, r.Spine), nil
+	case topology.FailureLeafSwitch:
+		return topology.LeafSwitchFailure(r.Leaf), nil
+	case topology.FailureL2Switch:
+		return topology.L2SwitchFailure(r.Pod, r.L2), nil
+	default:
+		return topology.SpineSwitchFailure(r.Group, r.Spine), nil
+	}
+}
+
+func decodeFailure(w http.ResponseWriter, r *http.Request) (topology.Failure, bool) {
+	var req failRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return topology.Failure{}, false
+	}
+	f, err := req.failure()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return topology.Failure{}, false
+	}
+	return f, true
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	f, ok := decodeFailure(w, r)
+	if !ok {
+		return
+	}
+	var rep engine.FailReport
+	var failErr error
+	err := s.do(func(e *engine.Engine) { rep, failErr = e.Fail(f) })
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if failErr != nil {
+		writeError(w, http.StatusConflict, "%v", failErr)
+		return
+	}
+	s.log.Warn("resource failed", "failure", f.String(),
+		"affected", rep.Affected, "requeued", rep.Requeued, "killed", rep.Killed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"failure":  f.String(),
+		"affected": rep.Affected,
+		"requeued": rep.Requeued,
+		"killed":   rep.Killed,
+	})
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	f, ok := decodeFailure(w, r)
+	if !ok {
+		return
+	}
+	var recErr error
+	var degraded bool
+	err := s.do(func(e *engine.Engine) {
+		recErr = e.Recover(f)
+		degraded = e.Degraded()
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if recErr != nil {
+		writeError(w, http.StatusConflict, "%v", recErr)
+		return
+	}
+	s.log.Info("resource recovered", "failure", f.String(), "degraded", degraded)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"failure":  f.String(),
+		"degraded": degraded,
+	})
+}
+
+// handleHealthz is the liveness probe. A degraded fabric still answers 200 —
+// the daemon is alive and scheduling around the failures — but the body says
+// "degraded" so probes and humans can tell the difference at a glance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var degraded bool
+	if err := s.do(func(e *engine.Engine) { degraded = e.Degraded() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if degraded {
+		io.WriteString(w, "degraded\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}

@@ -27,8 +27,10 @@
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET    /v1/queue     waiting jobs in FIFO order
 //	GET    /v1/cluster   topology, occupancy, utilization, counters
+//	POST   /v1/fail      fail a resource         {"kind":"node","node":5}
+//	POST   /v1/recover   recover a failed resource (same body as /v1/fail)
 //	GET    /metrics      Prometheus text format (version 0.0.4)
-//	GET    /healthz      liveness probe
+//	GET    /healthz      liveness probe; reports "degraded" under failures
 //	/debug/pprof/        runtime profiling
 package server
 
@@ -68,6 +70,9 @@ type Config struct {
 	Window int
 	// DisableBackfill reverts to pure FIFO service.
 	DisableBackfill bool
+	// OnFailure picks what happens to running jobs hit by POST /v1/fail:
+	// requeue (default), kill, or shrink-none.
+	OnFailure engine.FailurePolicy
 	// VirtualClock fast-forwards through events instead of tracking wall
 	// time; use it to replay traces.
 	VirtualClock bool
@@ -109,6 +114,7 @@ func New(cfg Config) (*Server, error) {
 		Window:           cfg.Window,
 		DisableBackfill:  cfg.DisableBackfill,
 		ApplySpeedups:    cfg.ApplySpeedups,
+		OnFailure:        cfg.OnFailure,
 		MeasureAllocTime: true,
 	})
 	if err != nil {
@@ -225,11 +231,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("DELETE /v1/jobs/{id}", s.handleCancel))
 	mux.HandleFunc("GET /v1/queue", s.instrument("GET /v1/queue", s.handleQueue))
 	mux.HandleFunc("GET /v1/cluster", s.instrument("GET /v1/cluster", s.handleCluster))
+	mux.HandleFunc("POST /v1/fail", s.instrument("POST /v1/fail", s.handleFail))
+	mux.HandleFunc("POST /v1/recover", s.instrument("POST /v1/recover", s.handleRecover))
 	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
-	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	}))
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -541,6 +546,14 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			"completed": o.snap.Counts.Completed,
 			"rejected":  o.snap.Counts.Rejected,
 			"cancelled": o.snap.Counts.Cancelled,
+			"requeued":  o.snap.Counts.Requeued,
+			"killed":    o.snap.Counts.Killed,
+		},
+		"degraded": o.snap.FailedNodes+o.snap.FailedLinks+o.snap.FailedSwitches > 0,
+		"failed": map[string]int{
+			"nodes":    o.snap.FailedNodes,
+			"links":    o.snap.FailedLinks,
+			"switches": o.snap.FailedSwitches,
 		},
 		"utilization": map[string]float64{
 			"instant": float64(o.snap.UsedNodes) / float64(o.snap.TotalNodes),
@@ -563,6 +576,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.counter("jigsawd_jobs_completed_total", "Jobs that ran to completion.", c.Completed)
 	mw.counter("jigsawd_jobs_rejected_total", "Jobs that could not fit even on a drained machine.", c.Rejected)
 	mw.counter("jigsawd_jobs_cancelled_total", "Jobs cancelled while queued or running.", c.Cancelled)
+	mw.counter("jigsawd_jobs_requeued_total", "Running jobs returned to the queue by a resource failure.", c.Requeued)
+	mw.counter("jigsawd_jobs_killed_total", "Running jobs killed by a resource failure (fail policy kill).", c.Killed)
 	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", o.snap.QueueDepth)
 	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", o.snap.RunningJobs)
 	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", o.snap.TotalNodes)
@@ -573,6 +588,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", o.utilSS)
 	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", o.snap.Now)
 	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", o.snap.PendingEvents)
+	mw.gaugeInt("jigsawd_failed_nodes", "Compute nodes currently marked failed.", o.snap.FailedNodes)
+	mw.gaugeInt("jigsawd_failed_links", "Uplinks (leaf->L2 and L2->spine) currently marked failed.", o.snap.FailedLinks)
+	mw.gaugeInt("jigsawd_failed_switches", "Whole-switch failures (leaf, L2, or spine) currently active.", o.snap.FailedSwitches)
 	mw.counter("jigsawd_feasibility_cache_hits_total", "Allocation attempts answered infeasible from the negative-feasibility cache without a search.", int64(o.feasHits))
 	mw.counter("jigsawd_feasibility_cache_misses_total", "Feasibility-cache consults that fell through to a real allocator search.", int64(o.feasMisses))
 	mw.counter("jigsawd_feasibility_cache_invalidations_total", "Times a state-version change discarded cached infeasibility verdicts.", int64(o.feasInvalidations))

@@ -1,0 +1,654 @@
+package topology
+
+import "fmt"
+
+// Failure model. A failed resource is encoded with the same machinery as an
+// allocated one: failed nodes are owned by the distinguished sentinel
+// FailedOwner, and failed links have their full residual consumed on behalf
+// of the failure. Fail and Recover therefore run through the ordinary
+// take/return mutators — O(changed entries), availability indices updated
+// incrementally, the version counter bumped (invalidating feasibility
+// memos), and the whole failure set copied by Clone. Allocators need no
+// special cases: a failed node never appears in a free mask and a failed
+// link never carries residual, so every placement search skips them the way
+// it skips busy resources.
+//
+// Fail and Recover are deliberately barred inside Begin/Rollback
+// transactions: failures are ground-truth machine events, not what-if
+// hypotheses, and keeping them out of the journal keeps the journal's four
+// entry kinds exhaustive.
+//
+// A resource can only fail while unallocated (nodes free, links at full
+// residual). Failing hardware out from under a running job is the engine's
+// business: internal/engine's Fail event first releases every job whose
+// placement intersects the failure (requeueing or killing it per policy) and
+// then applies the failure here, at which point the resources are free.
+
+// FailedOwner is the sentinel JobID owning every failed node. Real jobs use
+// positive IDs; zero means free.
+const FailedOwner JobID = -1
+
+// FailureKind enumerates the failure domains of a three-level fat-tree.
+type FailureKind uint8
+
+const (
+	// FailureNode is a single compute node.
+	FailureNode FailureKind = iota
+	// FailureLeafUplink is one leaf->L2 link.
+	FailureLeafUplink
+	// FailureSpineUplink is one L2->spine link.
+	FailureSpineUplink
+	// FailureLeafSwitch is a whole leaf switch: its nodes are unreachable
+	// and every uplink is down.
+	FailureLeafSwitch
+	// FailureL2Switch is a whole L2 switch of a pod: the leaf uplinks into
+	// it and its spine uplinks are down.
+	FailureL2Switch
+	// FailureSpineSwitch is a whole spine switch of a group: its per-pod
+	// uplinks are down in every pod.
+	FailureSpineSwitch
+)
+
+// String returns the wire name used by the HTTP API and fail-trace files.
+func (k FailureKind) String() string {
+	switch k {
+	case FailureNode:
+		return "node"
+	case FailureLeafUplink:
+		return "leaf-uplink"
+	case FailureSpineUplink:
+		return "spine-uplink"
+	case FailureLeafSwitch:
+		return "leaf-switch"
+	case FailureL2Switch:
+		return "l2-switch"
+	case FailureSpineSwitch:
+		return "spine-switch"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseFailureKind inverts FailureKind.String.
+func ParseFailureKind(s string) (FailureKind, error) {
+	switch s {
+	case "node":
+		return FailureNode, nil
+	case "leaf-uplink":
+		return FailureLeafUplink, nil
+	case "spine-uplink":
+		return FailureSpineUplink, nil
+	case "leaf-switch":
+		return FailureLeafSwitch, nil
+	case "l2-switch":
+		return FailureL2Switch, nil
+	case "spine-switch":
+		return FailureSpineSwitch, nil
+	}
+	return 0, fmt.Errorf("topology: unknown failure kind %q", s)
+}
+
+// Failure identifies one failable resource. Which fields are meaningful
+// depends on Kind:
+//
+//	FailureNode:        Node
+//	FailureLeafUplink:  Leaf (global leaf index), L2
+//	FailureSpineUplink: Pod, L2, Spine
+//	FailureLeafSwitch:  Leaf (global leaf index)
+//	FailureL2Switch:    Pod, L2
+//	FailureSpineSwitch: Group (== the L2 index the group hangs off), Spine
+type Failure struct {
+	Kind  FailureKind
+	Node  NodeID
+	Leaf  int
+	Pod   int
+	L2    int
+	Group int
+	Spine int
+}
+
+// Convenience constructors for the six failure domains.
+
+func NodeFailure(n NodeID) Failure { return Failure{Kind: FailureNode, Node: n} }
+func LeafUplinkFailure(leaf, l2 int) Failure {
+	return Failure{Kind: FailureLeafUplink, Leaf: leaf, L2: l2}
+}
+func SpineUplinkFailure(pod, l2, spine int) Failure {
+	return Failure{Kind: FailureSpineUplink, Pod: pod, L2: l2, Spine: spine}
+}
+func LeafSwitchFailure(leaf int) Failure { return Failure{Kind: FailureLeafSwitch, Leaf: leaf} }
+func L2SwitchFailure(pod, l2 int) Failure {
+	return Failure{Kind: FailureL2Switch, Pod: pod, L2: l2}
+}
+func SpineSwitchFailure(group, spine int) Failure {
+	return Failure{Kind: FailureSpineSwitch, Group: group, Spine: spine}
+}
+
+// String renders the failure in the fail-trace file syntax.
+func (f Failure) String() string {
+	switch f.Kind {
+	case FailureNode:
+		return fmt.Sprintf("node %d", f.Node)
+	case FailureLeafUplink:
+		return fmt.Sprintf("leaf-uplink %d %d", f.Leaf, f.L2)
+	case FailureSpineUplink:
+		return fmt.Sprintf("spine-uplink %d %d %d", f.Pod, f.L2, f.Spine)
+	case FailureLeafSwitch:
+		return fmt.Sprintf("leaf-switch %d", f.Leaf)
+	case FailureL2Switch:
+		return fmt.Sprintf("l2-switch %d %d", f.Pod, f.L2)
+	case FailureSpineSwitch:
+		return fmt.Sprintf("spine-switch %d %d", f.Group, f.Spine)
+	}
+	return f.Kind.String()
+}
+
+// Validate bounds-checks the failure against the tree's geometry.
+func (f Failure) Validate(t *FatTree) error {
+	switch f.Kind {
+	case FailureNode:
+		if f.Node < 0 || int(f.Node) >= t.Nodes() {
+			return fmt.Errorf("topology: node %d outside [0, %d)", f.Node, t.Nodes())
+		}
+	case FailureLeafUplink:
+		if f.Leaf < 0 || f.Leaf >= t.Leaves() || f.L2 < 0 || f.L2 >= t.L2PerPod {
+			return fmt.Errorf("topology: leaf uplink %d/%d outside geometry", f.Leaf, f.L2)
+		}
+	case FailureSpineUplink:
+		if f.Pod < 0 || f.Pod >= t.Pods || f.L2 < 0 || f.L2 >= t.L2PerPod || f.Spine < 0 || f.Spine >= t.SpinesPerGroup {
+			return fmt.Errorf("topology: spine uplink %d/%d/%d outside geometry", f.Pod, f.L2, f.Spine)
+		}
+	case FailureLeafSwitch:
+		if f.Leaf < 0 || f.Leaf >= t.Leaves() {
+			return fmt.Errorf("topology: leaf switch %d outside [0, %d)", f.Leaf, t.Leaves())
+		}
+	case FailureL2Switch:
+		if f.Pod < 0 || f.Pod >= t.Pods || f.L2 < 0 || f.L2 >= t.L2PerPod {
+			return fmt.Errorf("topology: L2 switch %d/%d outside geometry", f.Pod, f.L2)
+		}
+	case FailureSpineSwitch:
+		if f.Group < 0 || f.Group >= t.L2PerPod || f.Spine < 0 || f.Spine >= t.SpinesPerGroup {
+			return fmt.Errorf("topology: spine switch %d/%d outside geometry", f.Group, f.Spine)
+		}
+	default:
+		return fmt.Errorf("topology: unknown failure kind %d", f.Kind)
+	}
+	return nil
+}
+
+// Apply injects the failure into the state (dispatching to the matching
+// Fail* method) and Revert recovers it.
+func (f Failure) Apply(s *State) error {
+	switch f.Kind {
+	case FailureNode:
+		return s.FailNode(f.Node)
+	case FailureLeafUplink:
+		return s.FailLeafUplink(f.Leaf, f.L2)
+	case FailureSpineUplink:
+		return s.FailSpineUplink(f.Pod, f.L2, f.Spine)
+	case FailureLeafSwitch:
+		return s.FailLeafSwitch(f.Leaf)
+	case FailureL2Switch:
+		return s.FailL2Switch(f.Pod, f.L2)
+	case FailureSpineSwitch:
+		return s.FailSpineSwitch(f.Group, f.Spine)
+	}
+	return fmt.Errorf("topology: unknown failure kind %d", f.Kind)
+}
+
+// Revert recovers the failure (dispatching to the matching Recover* method).
+func (f Failure) Revert(s *State) error {
+	switch f.Kind {
+	case FailureNode:
+		return s.RecoverNode(f.Node)
+	case FailureLeafUplink:
+		return s.RecoverLeafUplink(f.Leaf, f.L2)
+	case FailureSpineUplink:
+		return s.RecoverSpineUplink(f.Pod, f.L2, f.Spine)
+	case FailureLeafSwitch:
+		return s.RecoverLeafSwitch(f.Leaf)
+	case FailureL2Switch:
+		return s.RecoverL2Switch(f.Pod, f.L2)
+	case FailureSpineSwitch:
+		return s.RecoverSpineSwitch(f.Group, f.Spine)
+	}
+	return fmt.Errorf("topology: unknown failure kind %d", f.Kind)
+}
+
+// Intersects reports whether the placement touches any resource the failure
+// takes down. Placements of running jobs hold concrete node IDs; pending
+// entries (never applied) are resolved by leaf, which is exact for the
+// leaf-granular kinds and conservative for FailureNode (a pending entry
+// could land anywhere on its leaf, so it counts as intersecting a failed
+// node on that leaf).
+func (f Failure) Intersects(t *FatTree, p *Placement) bool {
+	switch f.Kind {
+	case FailureNode:
+		failedLeaf := int(f.Node) / t.NodesPerLeaf
+		for _, n := range p.Nodes {
+			if n == f.Node {
+				return true
+			}
+			if l, ok := pendingLeaf(n); ok && l == failedLeaf {
+				return true
+			}
+		}
+	case FailureLeafUplink:
+		for _, u := range p.LeafUps {
+			if int(u.Leaf) == f.Leaf && int(u.L2) == f.L2 {
+				return true
+			}
+		}
+	case FailureSpineUplink:
+		for _, u := range p.SpineUps {
+			if int(u.Pod) == f.Pod && int(u.L2) == f.L2 && int(u.Spine) == f.Spine {
+				return true
+			}
+		}
+	case FailureLeafSwitch:
+		for _, n := range p.Nodes {
+			leaf := int(n) / t.NodesPerLeaf
+			if l, ok := pendingLeaf(n); ok {
+				leaf = l
+			}
+			if leaf == f.Leaf {
+				return true
+			}
+		}
+		for _, u := range p.LeafUps {
+			if int(u.Leaf) == f.Leaf {
+				return true
+			}
+		}
+	case FailureL2Switch:
+		for _, u := range p.LeafUps {
+			if int(u.L2) == f.L2 && t.LeafPod(int(u.Leaf)) == f.Pod {
+				return true
+			}
+		}
+		for _, u := range p.SpineUps {
+			if int(u.Pod) == f.Pod && int(u.L2) == f.L2 {
+				return true
+			}
+		}
+	case FailureSpineSwitch:
+		for _, u := range p.SpineUps {
+			if int(u.L2) == f.Group && int(u.Spine) == f.Spine {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// failErr wraps the common precondition failures with the resource name.
+func failErr(what string, err string) error {
+	return fmt.Errorf("topology: %s %s", what, err)
+}
+
+// failGuard rejects fail/recover calls inside a transaction (failures are
+// ground truth, never what-if hypotheses; see the package comment above).
+func (s *State) failGuard() error {
+	if s.txnActive {
+		return fmt.Errorf("topology: fail/recover inside an active transaction")
+	}
+	return nil
+}
+
+// ensureFailFlags lazily allocates the per-link failed flags; pristine
+// states carry no failure bookkeeping at all.
+func (s *State) ensureFailFlags() {
+	if s.failedLeafUp == nil {
+		s.failedLeafUp = make([]bool, len(s.leafUp))
+		s.failedSpineUp = make([]bool, len(s.spineUp))
+	}
+}
+
+// NodeFailed reports whether node n is failed.
+func (s *State) NodeFailed(n NodeID) bool { return s.nodeOwner[n] == FailedOwner }
+
+// LeafUplinkFailed reports whether the uplink (leaf -> L2 i) is failed.
+func (s *State) LeafUplinkFailed(leafIdx, i int) bool {
+	return s.failedLeafUp != nil && s.failedLeafUp[leafIdx*s.Tree.L2PerPod+i]
+}
+
+// SpineUplinkFailed reports whether the uplink (pod, L2 -> spine sp) is failed.
+func (s *State) SpineUplinkFailed(pod, l2, sp int) bool {
+	return s.failedSpineUp != nil && s.failedSpineUp[(pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup+sp]
+}
+
+// FailedNodes returns the number of currently-failed nodes.
+func (s *State) FailedNodes() int { return s.failedNodes }
+
+// FailedLeafUplinks returns the number of currently-failed leaf uplinks.
+func (s *State) FailedLeafUplinks() int { return s.failedLeafUps }
+
+// FailedSpineUplinks returns the number of currently-failed spine uplinks.
+func (s *State) FailedSpineUplinks() int { return s.failedSpineUps }
+
+// FailedLinks returns the total number of currently-failed links.
+func (s *State) FailedLinks() int { return s.failedLeafUps + s.failedSpineUps }
+
+// Degraded reports whether any node or link is currently failed.
+func (s *State) Degraded() bool {
+	return s.failedNodes > 0 || s.failedLeafUps > 0 || s.failedSpineUps > 0
+}
+
+// FailNode marks a free node failed: it becomes owned by FailedOwner through
+// the ordinary take path, so every index and the version counter update as
+// for an allocation. Fails if the node is out of range, already failed, or
+// owned by a job (release the job first; internal/engine's Fail event does).
+func (s *State) FailNode(n NodeID) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if n < 0 || int(n) >= len(s.nodeOwner) {
+		return failErr(fmt.Sprintf("node %d", n), "out of range")
+	}
+	switch o := s.nodeOwner[n]; {
+	case o == FailedOwner:
+		return failErr(fmt.Sprintf("node %d", n), "already failed")
+	case o != 0:
+		return failErr(fmt.Sprintf("node %d", n), fmt.Sprintf("owned by job %d", o))
+	}
+	s.retakeNode(n, FailedOwner)
+	s.failedNodes++
+	return nil
+}
+
+// RecoverNode returns a failed node to service.
+func (s *State) RecoverNode(n NodeID) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if n < 0 || int(n) >= len(s.nodeOwner) {
+		return failErr(fmt.Sprintf("node %d", n), "out of range")
+	}
+	if s.nodeOwner[n] != FailedOwner {
+		return failErr(fmt.Sprintf("node %d", n), "not failed")
+	}
+	s.returnNode(n)
+	s.failedNodes--
+	return nil
+}
+
+// FailLeafUplink marks the uplink (leaf -> L2 i) failed by consuming its
+// full residual on behalf of the failure. Fails if the link is already
+// failed or any share of it is held by a job.
+func (s *State) FailLeafUplink(leafIdx, i int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if leafIdx < 0 || leafIdx >= s.Tree.Leaves() || i < 0 || i >= s.Tree.L2PerPod {
+		return failErr(fmt.Sprintf("leaf uplink %d/%d", leafIdx, i), "out of range")
+	}
+	idx := leafIdx*s.Tree.L2PerPod + i
+	if s.failedLeafUp != nil && s.failedLeafUp[idx] {
+		return failErr(fmt.Sprintf("leaf uplink %d/%d", leafIdx, i), "already failed")
+	}
+	if s.leafUp[idx] != s.Capacity {
+		return failErr(fmt.Sprintf("leaf uplink %d/%d", leafIdx, i), "in use")
+	}
+	s.ensureFailFlags()
+	s.takeLeafUp(leafIdx, i, s.Capacity)
+	s.failedLeafUp[idx] = true
+	s.failedLeafUps++
+	return nil
+}
+
+// RecoverLeafUplink returns a failed leaf uplink to service.
+func (s *State) RecoverLeafUplink(leafIdx, i int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if leafIdx < 0 || leafIdx >= s.Tree.Leaves() || i < 0 || i >= s.Tree.L2PerPod {
+		return failErr(fmt.Sprintf("leaf uplink %d/%d", leafIdx, i), "out of range")
+	}
+	idx := leafIdx*s.Tree.L2PerPod + i
+	if s.failedLeafUp == nil || !s.failedLeafUp[idx] {
+		return failErr(fmt.Sprintf("leaf uplink %d/%d", leafIdx, i), "not failed")
+	}
+	s.returnLeafUp(leafIdx, i, s.Capacity)
+	s.failedLeafUp[idx] = false
+	s.failedLeafUps--
+	return nil
+}
+
+// FailSpineUplink marks the uplink (pod, L2 -> spine sp) failed.
+func (s *State) FailSpineUplink(pod, l2, sp int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if pod < 0 || pod >= s.Tree.Pods || l2 < 0 || l2 >= s.Tree.L2PerPod || sp < 0 || sp >= s.Tree.SpinesPerGroup {
+		return failErr(fmt.Sprintf("spine uplink %d/%d/%d", pod, l2, sp), "out of range")
+	}
+	idx := (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup + sp
+	if s.failedSpineUp != nil && s.failedSpineUp[idx] {
+		return failErr(fmt.Sprintf("spine uplink %d/%d/%d", pod, l2, sp), "already failed")
+	}
+	if s.spineUp[idx] != s.Capacity {
+		return failErr(fmt.Sprintf("spine uplink %d/%d/%d", pod, l2, sp), "in use")
+	}
+	s.ensureFailFlags()
+	s.takeSpineUp(pod, l2, sp, s.Capacity)
+	s.failedSpineUp[idx] = true
+	s.failedSpineUps++
+	return nil
+}
+
+// RecoverSpineUplink returns a failed spine uplink to service.
+func (s *State) RecoverSpineUplink(pod, l2, sp int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if pod < 0 || pod >= s.Tree.Pods || l2 < 0 || l2 >= s.Tree.L2PerPod || sp < 0 || sp >= s.Tree.SpinesPerGroup {
+		return failErr(fmt.Sprintf("spine uplink %d/%d/%d", pod, l2, sp), "out of range")
+	}
+	idx := (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup + sp
+	if s.failedSpineUp == nil || !s.failedSpineUp[idx] {
+		return failErr(fmt.Sprintf("spine uplink %d/%d/%d", pod, l2, sp), "not failed")
+	}
+	s.returnSpineUp(pod, l2, sp, s.Capacity)
+	s.failedSpineUp[idx] = false
+	s.failedSpineUps--
+	return nil
+}
+
+// FailLeafSwitch fails a whole leaf switch: every node on the leaf and every
+// uplink out of it. Components that are already failed are left as they are;
+// if any component is held by a job the call is rejected whole (all-or-
+// nothing) — release or requeue the jobs first.
+func (s *State) FailLeafSwitch(leafIdx int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if leafIdx < 0 || leafIdx >= s.Tree.Leaves() {
+		return failErr(fmt.Sprintf("leaf switch %d", leafIdx), "out of range")
+	}
+	// Validate all-or-nothing before mutating anything.
+	for slot := 0; slot < s.Tree.NodesPerLeaf; slot++ {
+		n := NodeID(leafIdx*s.Tree.NodesPerLeaf + slot)
+		if o := s.nodeOwner[n]; o != 0 && o != FailedOwner {
+			return failErr(fmt.Sprintf("leaf switch %d", leafIdx), fmt.Sprintf("node %d owned by job %d", n, o))
+		}
+	}
+	for i := 0; i < s.Tree.L2PerPod; i++ {
+		idx := leafIdx*s.Tree.L2PerPod + i
+		failed := s.failedLeafUp != nil && s.failedLeafUp[idx]
+		if !failed && s.leafUp[idx] != s.Capacity {
+			return failErr(fmt.Sprintf("leaf switch %d", leafIdx), fmt.Sprintf("uplink %d in use", i))
+		}
+	}
+	for slot := 0; slot < s.Tree.NodesPerLeaf; slot++ {
+		n := NodeID(leafIdx*s.Tree.NodesPerLeaf + slot)
+		if s.nodeOwner[n] == 0 {
+			s.retakeNode(n, FailedOwner)
+			s.failedNodes++
+		}
+	}
+	s.ensureFailFlags()
+	for i := 0; i < s.Tree.L2PerPod; i++ {
+		idx := leafIdx*s.Tree.L2PerPod + i
+		if !s.failedLeafUp[idx] {
+			s.takeLeafUp(leafIdx, i, s.Capacity)
+			s.failedLeafUp[idx] = true
+			s.failedLeafUps++
+		}
+	}
+	return nil
+}
+
+// RecoverLeafSwitch recovers every currently-failed node and uplink of the
+// leaf, however it came to fail (a component failed individually and again
+// as part of the switch is recovered once; see DESIGN.md §12 on overlap).
+func (s *State) RecoverLeafSwitch(leafIdx int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if leafIdx < 0 || leafIdx >= s.Tree.Leaves() {
+		return failErr(fmt.Sprintf("leaf switch %d", leafIdx), "out of range")
+	}
+	for slot := 0; slot < s.Tree.NodesPerLeaf; slot++ {
+		n := NodeID(leafIdx*s.Tree.NodesPerLeaf + slot)
+		if s.nodeOwner[n] == FailedOwner {
+			s.returnNode(n)
+			s.failedNodes--
+		}
+	}
+	for i := 0; s.failedLeafUp != nil && i < s.Tree.L2PerPod; i++ {
+		idx := leafIdx*s.Tree.L2PerPod + i
+		if s.failedLeafUp[idx] {
+			s.returnLeafUp(leafIdx, i, s.Capacity)
+			s.failedLeafUp[idx] = false
+			s.failedLeafUps--
+		}
+	}
+	return nil
+}
+
+// FailL2Switch fails a whole L2 switch of a pod: the leaf uplinks into it
+// from every leaf of the pod, plus its spine uplinks. All-or-nothing like
+// FailLeafSwitch.
+func (s *State) FailL2Switch(pod, l2 int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if pod < 0 || pod >= s.Tree.Pods || l2 < 0 || l2 >= s.Tree.L2PerPod {
+		return failErr(fmt.Sprintf("L2 switch %d/%d", pod, l2), "out of range")
+	}
+	for l := 0; l < s.Tree.LeavesPerPod; l++ {
+		leaf := s.Tree.LeafIndex(pod, l)
+		idx := leaf*s.Tree.L2PerPod + l2
+		failed := s.failedLeafUp != nil && s.failedLeafUp[idx]
+		if !failed && s.leafUp[idx] != s.Capacity {
+			return failErr(fmt.Sprintf("L2 switch %d/%d", pod, l2), fmt.Sprintf("leaf %d uplink in use", leaf))
+		}
+	}
+	for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
+		idx := (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup + sp
+		failed := s.failedSpineUp != nil && s.failedSpineUp[idx]
+		if !failed && s.spineUp[idx] != s.Capacity {
+			return failErr(fmt.Sprintf("L2 switch %d/%d", pod, l2), fmt.Sprintf("spine uplink %d in use", sp))
+		}
+	}
+	s.ensureFailFlags()
+	for l := 0; l < s.Tree.LeavesPerPod; l++ {
+		leaf := s.Tree.LeafIndex(pod, l)
+		idx := leaf*s.Tree.L2PerPod + l2
+		if !s.failedLeafUp[idx] {
+			s.takeLeafUp(leaf, l2, s.Capacity)
+			s.failedLeafUp[idx] = true
+			s.failedLeafUps++
+		}
+	}
+	for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
+		idx := (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup + sp
+		if !s.failedSpineUp[idx] {
+			s.takeSpineUp(pod, l2, sp, s.Capacity)
+			s.failedSpineUp[idx] = true
+			s.failedSpineUps++
+		}
+	}
+	return nil
+}
+
+// RecoverL2Switch recovers every currently-failed link of the L2 switch.
+func (s *State) RecoverL2Switch(pod, l2 int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if pod < 0 || pod >= s.Tree.Pods || l2 < 0 || l2 >= s.Tree.L2PerPod {
+		return failErr(fmt.Sprintf("L2 switch %d/%d", pod, l2), "out of range")
+	}
+	if s.failedLeafUp == nil {
+		return nil
+	}
+	for l := 0; l < s.Tree.LeavesPerPod; l++ {
+		leaf := s.Tree.LeafIndex(pod, l)
+		idx := leaf*s.Tree.L2PerPod + l2
+		if s.failedLeafUp[idx] {
+			s.returnLeafUp(leaf, l2, s.Capacity)
+			s.failedLeafUp[idx] = false
+			s.failedLeafUps--
+		}
+	}
+	for sp := 0; sp < s.Tree.SpinesPerGroup; sp++ {
+		idx := (pod*s.Tree.L2PerPod+l2)*s.Tree.SpinesPerGroup + sp
+		if s.failedSpineUp[idx] {
+			s.returnSpineUp(pod, l2, sp, s.Capacity)
+			s.failedSpineUp[idx] = false
+			s.failedSpineUps--
+		}
+	}
+	return nil
+}
+
+// FailSpineSwitch fails a whole spine switch: its uplink in every pod (spine
+// sp of group g connects to L2 switch g of each pod). All-or-nothing.
+func (s *State) FailSpineSwitch(group, sp int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if group < 0 || group >= s.Tree.L2PerPod || sp < 0 || sp >= s.Tree.SpinesPerGroup {
+		return failErr(fmt.Sprintf("spine switch %d/%d", group, sp), "out of range")
+	}
+	for pod := 0; pod < s.Tree.Pods; pod++ {
+		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
+		failed := s.failedSpineUp != nil && s.failedSpineUp[idx]
+		if !failed && s.spineUp[idx] != s.Capacity {
+			return failErr(fmt.Sprintf("spine switch %d/%d", group, sp), fmt.Sprintf("pod %d uplink in use", pod))
+		}
+	}
+	s.ensureFailFlags()
+	for pod := 0; pod < s.Tree.Pods; pod++ {
+		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
+		if !s.failedSpineUp[idx] {
+			s.takeSpineUp(pod, group, sp, s.Capacity)
+			s.failedSpineUp[idx] = true
+			s.failedSpineUps++
+		}
+	}
+	return nil
+}
+
+// RecoverSpineSwitch recovers every currently-failed per-pod uplink of the
+// spine switch.
+func (s *State) RecoverSpineSwitch(group, sp int) error {
+	if err := s.failGuard(); err != nil {
+		return err
+	}
+	if group < 0 || group >= s.Tree.L2PerPod || sp < 0 || sp >= s.Tree.SpinesPerGroup {
+		return failErr(fmt.Sprintf("spine switch %d/%d", group, sp), "out of range")
+	}
+	if s.failedSpineUp == nil {
+		return nil
+	}
+	for pod := 0; pod < s.Tree.Pods; pod++ {
+		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
+		if s.failedSpineUp[idx] {
+			s.returnSpineUp(pod, group, sp, s.Capacity)
+			s.failedSpineUp[idx] = false
+			s.failedSpineUps--
+		}
+	}
+	return nil
+}

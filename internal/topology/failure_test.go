@@ -1,0 +1,319 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkInv(t *testing.T, s *State) {
+	t.Helper()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestFailRecoverNode(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	v0 := s.Version()
+	if err := s.FailNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() == v0 {
+		t.Fatal("FailNode did not bump the version")
+	}
+	if !s.NodeFailed(5) || s.Owner(5) != FailedOwner {
+		t.Fatal("node 5 not marked failed")
+	}
+	if s.FreeNodes() != tr.Nodes()-1 || s.FailedNodes() != 1 || !s.Degraded() {
+		t.Fatalf("counters: free=%d failed=%d", s.FreeNodes(), s.FailedNodes())
+	}
+	checkInv(t, s)
+
+	// Errors: double-fail, recover a healthy node, fail an owned node.
+	if err := s.FailNode(5); err == nil {
+		t.Fatal("double FailNode succeeded")
+	}
+	if err := s.RecoverNode(6); err == nil {
+		t.Fatal("RecoverNode on a healthy node succeeded")
+	}
+	s.retakeNode(7, 42)
+	if err := s.FailNode(7); err == nil || !strings.Contains(err.Error(), "owned by job") {
+		t.Fatalf("FailNode on an owned node: %v", err)
+	}
+	s.returnNode(7)
+
+	if err := s.RecoverNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFailed(5) || s.FreeNodes() != tr.Nodes() || s.Degraded() {
+		t.Fatal("recover did not restore the node")
+	}
+	checkInv(t, s)
+}
+
+func TestFailRecoverLinks(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	if err := s.FailLeafUplink(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.LeafUplinkFailed(3, 1) || s.LeafUpResidual(3, 1) != 0 {
+		t.Fatal("leaf uplink 3/1 not failed")
+	}
+	if m := s.LeafUpMask(3, 1); m&(1<<1) != 0 {
+		t.Fatalf("failed uplink still available in mask %#x", m)
+	}
+	if err := s.FailSpineUplink(2, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.SpineUplinkFailed(2, 0, 3) || s.SpineUpResidual(2, 0, 3) != 0 {
+		t.Fatal("spine uplink 2/0/3 not failed")
+	}
+	if s.FailedLinks() != 2 || s.FailedLeafUplinks() != 1 || s.FailedSpineUplinks() != 1 {
+		t.Fatalf("link counters: %d/%d/%d", s.FailedLinks(), s.FailedLeafUplinks(), s.FailedSpineUplinks())
+	}
+	checkInv(t, s)
+
+	// A held link cannot fail.
+	s.takeLeafUp(4, 0, 1)
+	if err := s.FailLeafUplink(4, 0); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("FailLeafUplink on a held link: %v", err)
+	}
+	s.returnLeafUp(4, 0, 1)
+
+	if err := s.RecoverLeafUplink(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverSpineUplink(2, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("state still degraded after recovering everything")
+	}
+	checkInv(t, s)
+}
+
+func TestFailRecoverSwitches(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+
+	// Leaf switch: all nodes + all uplinks of leaf 2.
+	if err := s.FailLeafSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedNodes() != tr.NodesPerLeaf || s.FailedLeafUplinks() != tr.L2PerPod {
+		t.Fatalf("leaf switch failure: %d nodes, %d uplinks", s.FailedNodes(), s.FailedLeafUplinks())
+	}
+	if s.FullyFreeLeaf(2) || s.FreeInLeaf(2) != 0 {
+		t.Fatal("failed leaf still looks available")
+	}
+	checkInv(t, s)
+	if err := s.RecoverLeafSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("still degraded after leaf switch recovery")
+	}
+	checkInv(t, s)
+
+	// L2 switch 1 of pod 0: one leaf uplink per leaf of the pod plus its
+	// spine uplinks.
+	if err := s.FailL2Switch(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailedLeafUplinks() != tr.LeavesPerPod || s.FailedSpineUplinks() != tr.SpinesPerGroup {
+		t.Fatalf("L2 switch failure: %d leaf ups, %d spine ups", s.FailedLeafUplinks(), s.FailedSpineUplinks())
+	}
+	checkInv(t, s)
+
+	// Overlapping spine switch (group 1 shares pod 0's spine uplinks).
+	if err := s.FailSpineSwitch(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Pod 0's uplink to (1,2) was already failed by the L2 switch; the other
+	// pods' uplinks fail now.
+	if want := tr.SpinesPerGroup + (tr.Pods - 1); s.FailedSpineUplinks() != want {
+		t.Fatalf("spine switch overlap: %d spine ups, want %d", s.FailedSpineUplinks(), want)
+	}
+	checkInv(t, s)
+
+	if err := s.RecoverL2Switch(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverSpineSwitch(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// RecoverL2Switch also recovered pod 0's (1,2) uplink — overlap is
+	// documented as component-granular — so everything is healthy again.
+	if s.Degraded() {
+		t.Fatalf("still degraded: %d links", s.FailedLinks())
+	}
+	checkInv(t, s)
+}
+
+func TestFailSwitchAllOrNothing(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	// A job on leaf 0 blocks the leaf switch and leaves nothing half-failed.
+	s.takeNodes(0, 1, 9)
+	if err := s.FailLeafSwitch(0); err == nil {
+		t.Fatal("FailLeafSwitch succeeded with an owned node")
+	}
+	if s.Degraded() {
+		t.Fatal("rejected switch failure left partial failure state")
+	}
+	checkInv(t, s)
+
+	// A held spine uplink blocks both its L2 switch and its spine switch.
+	s.takeSpineUp(1, 0, 0, 1)
+	if err := s.FailL2Switch(1, 0); err == nil {
+		t.Fatal("FailL2Switch succeeded with a held spine uplink")
+	}
+	if err := s.FailSpineSwitch(0, 0); err == nil {
+		t.Fatal("FailSpineSwitch succeeded with a held uplink")
+	}
+	if s.Degraded() {
+		t.Fatal("rejected switch failure left partial failure state")
+	}
+	checkInv(t, s)
+}
+
+func TestFailBarredInTransactions(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	s.Begin()
+	if err := s.FailNode(0); err == nil {
+		t.Fatal("FailNode allowed inside a transaction")
+	}
+	if err := s.FailLeafUplink(0, 0); err == nil {
+		t.Fatal("FailLeafUplink allowed inside a transaction")
+	}
+	s.Rollback()
+	if err := s.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := func() error { s.Begin(); defer s.Rollback(); return s.RecoverNode(0) }(); err == nil {
+		t.Fatal("RecoverNode allowed inside a transaction")
+	}
+	if err := s.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, s)
+}
+
+func TestCloneCopiesFailures(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	if err := s.FailNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailLeafUplink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if !c.NodeFailed(3) || !c.LeafUplinkFailed(1, 0) || c.FailedNodes() != 1 || c.FailedLinks() != 1 {
+		t.Fatal("clone lost failure state")
+	}
+	checkInv(t, c)
+	// Divergence after clone: recovering on the clone leaves the original.
+	if err := c.RecoverNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NodeFailed(3) {
+		t.Fatal("recovery on clone leaked into the original")
+	}
+	checkInv(t, s)
+	checkInv(t, c)
+}
+
+func TestFailureSpecRoundTrip(t *testing.T) {
+	tr := MustNew(8)
+	s := NewState(tr, 1)
+	specs := []Failure{
+		NodeFailure(17),
+		LeafUplinkFailure(5, 2),
+		SpineUplinkFailure(2, 1, 3),
+		LeafSwitchFailure(3),
+		L2SwitchFailure(2, 0),
+		SpineSwitchFailure(1, 1),
+	}
+	for _, f := range specs {
+		if err := f.Validate(tr); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if err := f.Apply(s); err != nil {
+			t.Fatalf("apply %v: %v", f, err)
+		}
+		checkInv(t, s)
+	}
+	if !s.Degraded() {
+		t.Fatal("not degraded after six failures")
+	}
+	for i := len(specs) - 1; i >= 0; i-- {
+		if err := specs[i].Revert(s); err != nil {
+			t.Fatalf("revert %v: %v", specs[i], err)
+		}
+		checkInv(t, s)
+	}
+	if s.Degraded() {
+		t.Fatal("still degraded after reverting everything")
+	}
+	// Bounds violations are rejected.
+	for _, bad := range []Failure{
+		NodeFailure(NodeID(tr.Nodes())),
+		LeafUplinkFailure(tr.Leaves(), 0),
+		SpineUplinkFailure(0, 0, tr.SpinesPerGroup),
+		LeafSwitchFailure(-1),
+		L2SwitchFailure(tr.Pods, 0),
+		SpineSwitchFailure(0, -1),
+	} {
+		if err := bad.Validate(tr); err == nil {
+			t.Fatalf("Validate accepted %v", bad)
+		}
+	}
+}
+
+// TestFailureIntersects exercises the placement-intersection predicate the
+// engine uses to decide which running jobs a failure takes down.
+func TestFailureIntersects(t *testing.T) {
+	tr := MustNew(8)
+	p := NewPlacement(1, 1)
+	p.Nodes = []NodeID{NodeID(0), NodeID(1)} // leaf 0
+	p.AddLeafUp(0, 2)
+	p.AddSpineUp(0, 2, 1)
+
+	cases := []struct {
+		f    Failure
+		want bool
+	}{
+		{NodeFailure(0), true},
+		{NodeFailure(2), false},
+		{LeafUplinkFailure(0, 2), true},
+		{LeafUplinkFailure(0, 1), false},
+		{SpineUplinkFailure(0, 2, 1), true},
+		{SpineUplinkFailure(0, 2, 0), false},
+		{LeafSwitchFailure(0), true},
+		{LeafSwitchFailure(1), false},
+		{L2SwitchFailure(0, 2), true},
+		{L2SwitchFailure(0, 0), false},
+		{L2SwitchFailure(1, 2), false},
+		{SpineSwitchFailure(2, 1), true},
+		{SpineSwitchFailure(2, 0), false},
+	}
+	for _, c := range cases {
+		if got := c.f.Intersects(tr, p); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+
+	// Pending entries intersect node failures on their leaf (conservative).
+	q := NewPlacement(2, 1)
+	q.AddLeafNodes(3, 2)
+	if !NodeFailure(NodeID(3*tr.NodesPerLeaf)).Intersects(tr, q) {
+		t.Error("pending nodes should intersect node failures on their leaf")
+	}
+	if NodeFailure(0).Intersects(tr, q) {
+		t.Error("pending nodes on leaf 3 should not intersect node 0")
+	}
+}

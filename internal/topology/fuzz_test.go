@@ -1,0 +1,174 @@
+package topology
+
+// FuzzStateFailRecover drives random interleavings of allocation mutators,
+// fail/recover calls, and undo-journal transactions against one State and
+// audits CheckInvariants after every operation. The failure model routes
+// through the same take/return mutators as allocations, so this exercises
+// the sentinel-owner encoding, the incremental indices, and the journal
+// against each other.
+
+import (
+	"testing"
+)
+
+func FuzzStateFailRecover(f *testing.F) {
+	f.Add([]byte{0, 3, 6, 9, 10, 2, 11, 0})
+	f.Add([]byte{6, 5, 7, 5, 10, 0, 10, 1, 10, 2, 10, 3, 10, 4, 10, 5})
+	f.Add([]byte{0, 1, 0, 2, 2, 7, 4, 9, 8, 3, 9, 3, 1, 0, 3, 7, 5, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := MustNew(8)
+		s := NewState(tr, 1)
+		audit := func() {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var takenNodes []NodeID
+		var takenLeafUps [][2]int
+		var takenSpineUps [][3]int
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return int(b)
+		}
+		for pos < len(data) {
+			op, arg := next(), next()
+			switch op % 12 {
+			case 0: // take a free healthy node
+				n := NodeID(arg % tr.Nodes())
+				if s.Owner(n) == 0 {
+					s.retakeNode(n, 42)
+					takenNodes = append(takenNodes, n)
+				}
+			case 1: // return the most recently taken node
+				if k := len(takenNodes); k > 0 {
+					s.returnNode(takenNodes[k-1])
+					takenNodes = takenNodes[:k-1]
+				}
+			case 2: // take a leaf uplink unit
+				leaf, l2 := arg%tr.Leaves(), next()%tr.L2PerPod
+				if s.LeafUpResidual(leaf, l2) > 0 {
+					s.takeLeafUp(leaf, l2, 1)
+					takenLeafUps = append(takenLeafUps, [2]int{leaf, l2})
+				}
+			case 3: // return a leaf uplink unit
+				if k := len(takenLeafUps); k > 0 {
+					u := takenLeafUps[k-1]
+					s.returnLeafUp(u[0], u[1], 1)
+					takenLeafUps = takenLeafUps[:k-1]
+				}
+			case 4: // take a spine uplink unit
+				pod, l2, sp := arg%tr.Pods, next()%tr.L2PerPod, next()%tr.SpinesPerGroup
+				if s.SpineUpResidual(pod, l2, sp) > 0 {
+					s.takeSpineUp(pod, l2, sp, 1)
+					takenSpineUps = append(takenSpineUps, [3]int{pod, l2, sp})
+				}
+			case 5: // return a spine uplink unit
+				if k := len(takenSpineUps); k > 0 {
+					u := takenSpineUps[k-1]
+					s.returnSpineUp(u[0], u[1], u[2], 1)
+					takenSpineUps = takenSpineUps[:k-1]
+				}
+			case 6: // fail/recover a node (errors on busy/healthy targets are fine)
+				n := NodeID(arg % tr.Nodes())
+				if s.NodeFailed(n) {
+					_ = s.RecoverNode(n)
+				} else {
+					_ = s.FailNode(n)
+				}
+			case 7: // fail/recover a leaf uplink
+				leaf, l2 := arg%tr.Leaves(), next()%tr.L2PerPod
+				if s.LeafUplinkFailed(leaf, l2) {
+					_ = s.RecoverLeafUplink(leaf, l2)
+				} else {
+					_ = s.FailLeafUplink(leaf, l2)
+				}
+			case 8: // fail/recover a spine uplink
+				pod, l2, sp := arg%tr.Pods, next()%tr.L2PerPod, next()%tr.SpinesPerGroup
+				if s.SpineUplinkFailed(pod, l2, sp) {
+					_ = s.RecoverSpineUplink(pod, l2, sp)
+				} else {
+					_ = s.FailSpineUplink(pod, l2, sp)
+				}
+			case 9: // fail/recover a leaf switch (all-or-nothing composite)
+				leaf := arg % tr.Leaves()
+				if err := s.FailLeafSwitch(leaf); err != nil {
+					_ = s.RecoverLeafSwitch(leaf)
+				}
+			case 10: // fail/recover an L2 or spine switch
+				if arg%2 == 0 {
+					pod, l2 := arg%tr.Pods, next()%tr.L2PerPod
+					if err := s.FailL2Switch(pod, l2); err != nil {
+						_ = s.RecoverL2Switch(pod, l2)
+					}
+				} else {
+					g, sp := arg%tr.L2PerPod, next()%tr.SpinesPerGroup
+					if err := s.FailSpineSwitch(g, sp); err != nil {
+						_ = s.RecoverSpineSwitch(g, sp)
+					}
+				}
+			case 11: // failures are barred inside transactions
+				s.Begin()
+				if err := s.FailNode(NodeID(arg % tr.Nodes())); err == nil {
+					t.Fatal("FailNode allowed inside a transaction")
+				}
+				n := NodeID(arg % tr.Nodes())
+				if s.Owner(n) == 0 {
+					s.retakeNode(n, 42) // rolled back below
+				}
+				s.Rollback()
+			}
+			audit()
+		}
+
+		// Heal and drain everything; the state must come back pristine.
+		for n := 0; n < tr.Nodes(); n++ {
+			if s.NodeFailed(NodeID(n)) {
+				if err := s.RecoverNode(NodeID(n)); err != nil {
+					t.Fatalf("recover node %d: %v", n, err)
+				}
+			}
+		}
+		for leaf := 0; leaf < tr.Leaves(); leaf++ {
+			for l2 := 0; l2 < tr.L2PerPod; l2++ {
+				if s.LeafUplinkFailed(leaf, l2) {
+					if err := s.RecoverLeafUplink(leaf, l2); err != nil {
+						t.Fatalf("recover leaf uplink %d/%d: %v", leaf, l2, err)
+					}
+				}
+			}
+		}
+		for pod := 0; pod < tr.Pods; pod++ {
+			for l2 := 0; l2 < tr.L2PerPod; l2++ {
+				for sp := 0; sp < tr.SpinesPerGroup; sp++ {
+					if s.SpineUplinkFailed(pod, l2, sp) {
+						if err := s.RecoverSpineUplink(pod, l2, sp); err != nil {
+							t.Fatalf("recover spine uplink %d/%d/%d: %v", pod, l2, sp, err)
+						}
+					}
+				}
+			}
+		}
+		for _, n := range takenNodes {
+			s.returnNode(n)
+		}
+		for _, u := range takenLeafUps {
+			s.returnLeafUp(u[0], u[1], 1)
+		}
+		for _, u := range takenSpineUps {
+			s.returnSpineUp(u[0], u[1], u[2], 1)
+		}
+		audit()
+		if s.Degraded() {
+			t.Fatalf("still degraded after recovering everything: %d nodes, %d links",
+				s.FailedNodes(), s.FailedLinks())
+		}
+		if s.FreeNodes() != tr.Nodes() {
+			t.Fatalf("free nodes %d after full drain, want %d", s.FreeNodes(), tr.Nodes())
+		}
+	})
+}

@@ -85,6 +85,18 @@ type State struct {
 	podFree       []int32  // per pod: total free nodes
 	podSpineBusy  []int32  // per pod: spine uplinks below full residual
 
+	// Failure bookkeeping (see failure.go). Failed nodes are encoded as
+	// ownership by FailedOwner, so the arrays above already account for
+	// them; failed links additionally carry a flag here because a zero
+	// residual alone cannot distinguish "failed" from "fully allocated".
+	// The flag arrays are allocated lazily on the first failure — pristine
+	// states carry no failure bookkeeping.
+	failedLeafUp   []bool
+	failedSpineUp  []bool
+	failedNodes    int
+	failedLeafUps  int
+	failedSpineUps int
+
 	// scanQueries forces every availability query to recompute its answer
 	// from the raw residuals instead of the indices. The differential tests
 	// use it to pin the indexed implementation bit-for-bit against the scan
@@ -264,6 +276,13 @@ func (s *State) Clone() *State {
 		podSpineBusy:  append([]int32(nil), s.podSpineBusy...),
 		scanQueries:   s.scanQueries,
 		version:       s.version,
+	}
+	c.failedNodes = s.failedNodes
+	c.failedLeafUps = s.failedLeafUps
+	c.failedSpineUps = s.failedSpineUps
+	if s.failedLeafUp != nil {
+		c.failedLeafUp = append([]bool(nil), s.failedLeafUp...)
+		c.failedSpineUp = append([]bool(nil), s.failedSpineUp...)
 	}
 	return c
 }
@@ -723,6 +742,42 @@ func (s *State) CheckInvariants() error {
 		if s.podSpineBusy[p] != busy {
 			return fmt.Errorf("pod %d: podSpineBusy %d, ground truth %d", p, s.podSpineBusy[p], busy)
 		}
+	}
+
+	// Failure bookkeeping: the counters match the sentinel owners and the
+	// per-link flags, and a failed link always has zero residual — its full
+	// capacity is held by the failure, so nothing can be placed on it.
+	failedNodes := 0
+	for _, o := range s.nodeOwner {
+		if o == FailedOwner {
+			failedNodes++
+		}
+	}
+	if failedNodes != s.failedNodes {
+		return fmt.Errorf("failedNodes %d, owners imply %d", s.failedNodes, failedNodes)
+	}
+	failedLeafUps, failedSpineUps := 0, 0
+	for i, f := range s.failedLeafUp {
+		if f {
+			failedLeafUps++
+			if s.leafUp[i] != 0 {
+				return fmt.Errorf("leafUp[%d] failed but residual %d != 0", i, s.leafUp[i])
+			}
+		}
+	}
+	for i, f := range s.failedSpineUp {
+		if f {
+			failedSpineUps++
+			if s.spineUp[i] != 0 {
+				return fmt.Errorf("spineUp[%d] failed but residual %d != 0", i, s.spineUp[i])
+			}
+		}
+	}
+	if failedLeafUps != s.failedLeafUps {
+		return fmt.Errorf("failedLeafUps %d, flags imply %d", s.failedLeafUps, failedLeafUps)
+	}
+	if failedSpineUps != s.failedSpineUps {
+		return fmt.Errorf("failedSpineUps %d, flags imply %d", s.failedSpineUps, failedSpineUps)
 	}
 	return nil
 }
