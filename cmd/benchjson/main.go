@@ -1,22 +1,33 @@
 // Command benchjson condenses `go test -bench` output into a small JSON
 // document of per-benchmark medians, for checking performance numbers into
 // the repository (BENCH_<n>.json; see EXPERIMENTS.md's benchmark workflow).
+// With -baseline it doubles as a regression gate: current medians are
+// compared against a previously recorded snapshot and the exit status is 1
+// if any shared benchmark slowed down by more than -tolerance.
 //
 // Usage:
 //
 //	go test -run '^$' -bench X -benchmem -count 5 ./... | benchjson > BENCH_n.json
+//	go test -run '^$' -bench X -count 5 ./... | benchjson -baseline BENCH_n.json -tolerance 0.15
 //
 // It reads benchmark result lines from stdin, groups repeated runs (-count)
 // by benchmark name with the -N CPU suffix stripped, and emits, per
 // benchmark, the median ns/op and — when -benchmem was set — the median
 // B/op and allocs/op. Non-benchmark lines are ignored, so raw `go test`
 // output pipes straight in.
+//
+// The gate compares ns/op only (allocation counts are pinned by dedicated
+// tests where they matter) and only for benchmarks present on both sides:
+// new benchmarks pass, and benchmarks deleted from the suite are reported
+// but do not fail the run. Improvements never fail.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -47,14 +58,16 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
-func main() {
+// parse reads `go test -bench` output and returns per-benchmark medians in
+// first-seen order.
+func parse(r io.Reader) (map[string]result, []string, error) {
 	type samples struct {
 		ns, b, allocs []float64
 	}
 	byName := map[string]*samples{}
 	var order []string
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -93,8 +106,7 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, nil, err
 	}
 
 	out := make(map[string]result, len(byName))
@@ -113,13 +125,11 @@ func main() {
 		}
 		out[name] = r
 	}
-	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
+	return out, order, nil
+}
 
-	// Emit in first-seen order via an ordered re-marshal: build an
-	// intermediate with json.RawMessage values.
+// render emits the results document in first-seen order.
+func render(out map[string]result, order []string) string {
 	var buf strings.Builder
 	buf.WriteString("{\n")
 	n := 0
@@ -137,5 +147,91 @@ func main() {
 		fmt.Fprintf(&buf, "  %s: %s", kb, vb)
 	}
 	buf.WriteString("\n}\n")
-	os.Stdout.WriteString(buf.String())
+	return buf.String()
+}
+
+// regression is one gate verdict line.
+type regression struct {
+	Name     string
+	Base     float64 // baseline ns/op
+	Current  float64 // current ns/op
+	Ratio    float64 // current/base
+	Breached bool    // over tolerance
+}
+
+// compare gates current medians against a baseline: shared benchmarks whose
+// ns/op grew by more than tolerance (0.15 = +15%) are breaches. Benchmarks
+// on only one side are skipped (returned with Base or Current zero so the
+// caller can report them).
+func compare(current, base map[string]result, tolerance float64) []regression {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []regression
+	for _, name := range names {
+		b := base[name]
+		c, ok := current[name]
+		if !ok {
+			out = append(out, regression{Name: name, Base: b.NsPerOp})
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		out = append(out, regression{
+			Name: name, Base: b.NsPerOp, Current: c.NsPerOp, Ratio: ratio,
+			Breached: ratio > 1+tolerance,
+		})
+	}
+	return out
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "BENCH_n.json to gate against; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed ns/op growth vs baseline (0.15 = +15%)")
+	)
+	flag.Parse()
+
+	out, order, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(render(out, order))
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base map[string]result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, r := range compare(out, base, *tolerance) {
+		switch {
+		case r.Current == 0:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: in baseline but not in current run (skipped)\n", r.Name)
+		case r.Breached:
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.0f%%)\n",
+				r.Name, r.Base, r.Current, (r.Ratio-1)*100, *tolerance*100)
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				r.Name, r.Base, r.Current, (r.Ratio-1)*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

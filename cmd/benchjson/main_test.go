@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+BenchmarkSearch/radix=16/two-level-8   620492   180.0 ns/op   36 B/op   0 allocs/op
+BenchmarkSearch/radix=16/two-level-8   610000   190.0 ns/op   36 B/op   0 allocs/op
+BenchmarkSearch/radix=16/two-level-8   630000   200.0 ns/op   36 B/op   0 allocs/op
+BenchmarkQueueReadIdle-8   2000   13426 ns/op   6550 p50-ns   51314 p99-ns
+PASS
+`
+
+func TestParseMediansAndOrder(t *testing.T) {
+	out, order, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "BenchmarkSearch/radix=16/two-level" || order[1] != "BenchmarkQueueReadIdle" {
+		t.Fatalf("order = %v", order)
+	}
+	r := out["BenchmarkSearch/radix=16/two-level"]
+	if r.Runs != 3 || r.NsPerOp != 190.0 {
+		t.Fatalf("median result %+v", r)
+	}
+	if r.BPerOp == nil || *r.BPerOp != 36 {
+		t.Fatalf("B/op %+v", r.BPerOp)
+	}
+	// ReportMetric columns (p50-ns etc.) must not pollute the ns/op median.
+	if q := out["BenchmarkQueueReadIdle"]; q.NsPerOp != 13426 || q.Runs != 1 {
+		t.Fatalf("ReportMetric parse: %+v", q)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]result{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+		"D": {NsPerOp: 100}, // deleted from the current suite
+	}
+	current := map[string]result{
+		"A": {NsPerOp: 110},  // +10%: within the 15% tolerance
+		"B": {NsPerOp: 120},  // +20%: regression
+		"C": {NsPerOp: 50},   // improvement: never fails
+		"E": {NsPerOp: 1e06}, // new benchmark: not gated
+	}
+	got := compare(current, base, 0.15)
+	verdicts := map[string]regression{}
+	for _, r := range got {
+		verdicts[r.Name] = r
+	}
+	if len(got) != 4 {
+		t.Fatalf("compared %d benchmarks, want 4 (baseline side): %+v", len(got), got)
+	}
+	if verdicts["A"].Breached || verdicts["C"].Breached {
+		t.Fatalf("within-tolerance or improved marked as regression: %+v", verdicts)
+	}
+	if !verdicts["B"].Breached {
+		t.Fatalf("B +20%% not flagged: %+v", verdicts["B"])
+	}
+	if d := verdicts["D"]; d.Current != 0 || d.Breached {
+		t.Fatalf("deleted benchmark should be skipped, not failed: %+v", d)
+	}
+	if _, gated := verdicts["E"]; gated {
+		t.Fatal("new benchmark must not be gated")
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	out, order, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := render(out, order)
+	if !strings.HasPrefix(doc, "{\n") || !strings.HasSuffix(doc, "\n}\n") {
+		t.Fatalf("render shape:\n%s", doc)
+	}
+	if !strings.Contains(doc, `"BenchmarkSearch/radix=16/two-level": {"runs":3,"ns_per_op":190`) {
+		t.Fatalf("render content:\n%s", doc)
+	}
+}

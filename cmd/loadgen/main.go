@@ -1,0 +1,403 @@
+// Command loadgen drives jigsawd's HTTP front door hard enough to measure
+// it: a closed-loop mode (K workers, each submit -> wait -> repeat) for peak
+// sustainable throughput, and an open-loop mode (fixed arrival rate) for
+// latency under a controlled offered load. Requests go through POST /v1/jobs
+// or, with -batch > 1, through POST /v1/jobs:batch.
+//
+// With no -target it starts an in-process daemon (policy, radix, and clock
+// selectable) on a loopback listener and aims at that, so CI can smoke the
+// whole stack with one command and no port coordination.
+//
+// Every request can be logged as one JSON line (-records), and the run ends
+// with a summary: accepted/shed/error counts, achieved jobs/s, and p50, p90,
+// p99, and max request latency. -json swaps the human summary for a
+// machine-readable one; -min-throughput and -fail-on-error turn the exit
+// status into a CI assertion.
+//
+// Examples:
+//
+//	loadgen -duration 5s -workers 16 -batch 16
+//	loadgen -target http://localhost:8080 -mode open -rate 2000 -duration 10s
+//	loadgen -duration 2s -fail-on-error -min-throughput 1 -json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	jigsaw "repro"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "", "base URL of a running jigsawd; empty starts an in-process daemon")
+		mode    = flag.String("mode", "closed", "closed (K workers back-to-back) or open (fixed arrival rate)")
+		workers = flag.Int("workers", 8, "closed-loop concurrency")
+		rate    = flag.Float64("rate", 1000, "open-loop request arrival rate per second")
+		dur     = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		batch   = flag.Int("batch", 1, "jobs per request; >1 uses POST /v1/jobs:batch")
+		sizeMin = flag.Int("size-min", 1, "minimum job size in nodes")
+		sizeMax = flag.Int("size-max", 32, "maximum job size in nodes")
+		jobRun  = flag.Float64("job-runtime", 60, "submitted job runtime in (virtual) seconds")
+		seed    = flag.Int64("seed", 1, "job-mix RNG seed")
+		records = flag.String("records", "", "write one JSON line per request to this file")
+		asJSON  = flag.Bool("json", false, "print the summary as JSON instead of text")
+
+		// In-process daemon knobs (ignored with -target).
+		radix  = flag.Int("radix", 8, "in-process fat-tree radix (8=256 nodes)")
+		policy = flag.String("policy", jigsaw.SchemeJigsaw, "in-process allocation policy")
+		clock  = flag.String("clock", "wall", "in-process clock mode: wall or virtual")
+
+		// CI assertions.
+		minThroughput = flag.Float64("min-throughput", 0, "exit 1 if accepted jobs/s falls below this")
+		failOnError   = flag.Bool("fail-on-error", false, "exit 1 if any request failed (429 shedding is not an error)")
+	)
+	flag.Parse()
+	if err := run(config{
+		target: *target, mode: *mode, workers: *workers, rate: *rate, dur: *dur,
+		batch: *batch, sizeMin: *sizeMin, sizeMax: *sizeMax, jobRuntime: *jobRun,
+		seed: *seed, records: *records, asJSON: *asJSON,
+		radix: *radix, policy: *policy, clock: *clock,
+		minThroughput: *minThroughput, failOnError: *failOnError,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	target        string
+	mode          string
+	workers       int
+	rate          float64
+	dur           time.Duration
+	batch         int
+	sizeMin       int
+	sizeMax       int
+	jobRuntime    float64
+	seed          int64
+	records       string
+	asJSON        bool
+	radix         int
+	policy        string
+	clock         string
+	minThroughput float64
+	failOnError   bool
+}
+
+// record is one request's JSON line in the -records file.
+type record struct {
+	T         float64 `json:"t"` // seconds since run start, at request send
+	Worker    int     `json:"worker"`
+	Status    int     `json:"status"` // 0 on transport error
+	Jobs      int     `json:"jobs"`   // jobs accepted by this request
+	LatencyMS float64 `json:"latency_ms"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// collector accumulates per-request outcomes from all workers.
+type collector struct {
+	start time.Time
+
+	mu  sync.Mutex
+	enc *json.Encoder // nil when -records is unset
+	lat []float64     // seconds, accepted requests only
+
+	requests atomic.Int64
+	accepted atomic.Int64 // requests answered 202
+	shed     atomic.Int64 // requests answered 429
+	errors   atomic.Int64 // transport errors and unexpected statuses
+	jobs     atomic.Int64 // jobs accepted across all requests
+}
+
+func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, err error) {
+	c.requests.Add(1)
+	switch {
+	case err != nil:
+		c.errors.Add(1)
+	case status == http.StatusAccepted:
+		c.accepted.Add(1)
+		c.jobs.Add(int64(jobs))
+		c.mu.Lock()
+		c.lat = append(c.lat, d.Seconds())
+		c.mu.Unlock()
+	case status == http.StatusTooManyRequests:
+		c.shed.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+	if c.enc != nil {
+		r := record{
+			T:         sentAt.Sub(c.start).Seconds(),
+			Worker:    worker,
+			Status:    status,
+			Jobs:      jobs,
+			LatencyMS: d.Seconds() * 1e3,
+		}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		c.mu.Lock()
+		c.enc.Encode(r)
+		c.mu.Unlock()
+	}
+}
+
+func run(cfg config) error {
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.sizeMin < 1 || cfg.sizeMax < cfg.sizeMin {
+		return fmt.Errorf("bad size range [%d, %d]", cfg.sizeMin, cfg.sizeMax)
+	}
+
+	base := cfg.target
+	if base == "" {
+		stop, addr, err := startInProcess(cfg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = addr
+	}
+
+	col := &collector{start: time.Now()}
+	if cfg.records != "" {
+		f, err := os.Create(cfg.records)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+		col.enc = json.NewEncoder(w)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.dur)
+	defer cancel()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.workers * 2,
+	}}
+
+	switch cfg.mode {
+	case "closed":
+		runClosed(ctx, cfg, client, base, col)
+	case "open":
+		runOpen(ctx, cfg, client, base, col)
+	default:
+		return fmt.Errorf("unknown mode %q (want closed or open)", cfg.mode)
+	}
+	elapsed := time.Since(col.start).Seconds()
+
+	return report(cfg, col, elapsed)
+}
+
+// startInProcess boots a daemon on a loopback listener and returns its base
+// URL plus a stop function.
+func startInProcess(cfg config) (func(), string, error) {
+	tree, err := jigsaw.NewFatTree(cfg.radix)
+	if err != nil {
+		return nil, "", err
+	}
+	a, err := jigsaw.NewAllocator(cfg.policy, tree)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := server.New(server.Config{
+		Alloc:        a,
+		VirtualClock: cfg.clock == "virtual",
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, "", err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ctx, ln)
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+// requestBody builds one submit request body holding cfg.batch jobs.
+func requestBody(cfg config, rng *rand.Rand) (path string, body []byte) {
+	type jobReq struct {
+		Size    int     `json:"size"`
+		Runtime float64 `json:"runtime"`
+	}
+	one := func() jobReq {
+		return jobReq{Size: cfg.sizeMin + rng.Intn(cfg.sizeMax-cfg.sizeMin+1), Runtime: cfg.jobRuntime}
+	}
+	if cfg.batch == 1 {
+		b, _ := json.Marshal(one())
+		return "/v1/jobs", b
+	}
+	jobs := make([]jobReq, cfg.batch)
+	for i := range jobs {
+		jobs[i] = one()
+	}
+	b, _ := json.Marshal(map[string]any{"jobs": jobs})
+	return "/v1/jobs:batch", b
+}
+
+// doRequest sends one submit and reports how many jobs it got accepted.
+func doRequest(cfg config, client *http.Client, base, path string, body []byte) (status, jobs int, err error) {
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return resp.StatusCode, 0, nil
+	}
+	if cfg.batch == 1 {
+		return resp.StatusCode, 1, nil
+	}
+	var br struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return resp.StatusCode, 0, err
+	}
+	return resp.StatusCode, br.Accepted, nil
+}
+
+// runClosed is the closed loop: each worker keeps exactly one request in
+// flight, so total concurrency is fixed and the achieved rate is the
+// system's sustainable throughput at that concurrency.
+func runClosed(ctx context.Context, cfg config, client *http.Client, base string, col *collector) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			for ctx.Err() == nil {
+				path, body := requestBody(cfg, rng)
+				t0 := time.Now()
+				status, jobs, err := doRequest(cfg, client, base, path, body)
+				col.note(w, t0, time.Since(t0), status, jobs, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen is the open loop: requests start at a fixed rate regardless of how
+// fast responses come back, so latency reflects queueing at the offered
+// load. In-flight requests are capped to keep a stalled server from
+// spawning unbounded goroutines; arrivals past the cap are counted as
+// errors (the generator itself became the bottleneck).
+func runOpen(ctx context.Context, cfg config, client *http.Client, base string, col *collector) {
+	if cfg.rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	inflight := make(chan struct{}, 4096)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	var wg sync.WaitGroup
+	next := time.Now()
+	for i := 0; ctx.Err() == nil; i++ {
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-time.After(d):
+			}
+		}
+		path, body := requestBody(cfg, rng)
+		select {
+		case inflight <- struct{}{}:
+		default:
+			col.requests.Add(1)
+			col.errors.Add(1) // generator saturated: too many outstanding
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			t0 := time.Now()
+			status, jobs, err := doRequest(cfg, client, base, path, body)
+			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, err)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func report(cfg config, col *collector, elapsed float64) error {
+	col.mu.Lock()
+	lat := col.lat
+	col.mu.Unlock()
+	sort.Float64s(lat)
+	p50 := stats.Percentile(lat, 50)
+	p90 := stats.Percentile(lat, 90)
+	p99 := stats.Percentile(lat, 99)
+	var max float64
+	if len(lat) > 0 {
+		max = lat[len(lat)-1]
+	}
+	throughput := float64(col.jobs.Load()) / elapsed
+
+	if cfg.asJSON {
+		json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"mode":           cfg.mode,
+			"workers":        cfg.workers,
+			"batch":          cfg.batch,
+			"duration_s":     elapsed,
+			"requests":       col.requests.Load(),
+			"accepted":       col.accepted.Load(),
+			"shed_429":       col.shed.Load(),
+			"errors":         col.errors.Load(),
+			"jobs_accepted":  col.jobs.Load(),
+			"jobs_per_sec":   throughput,
+			"latency_p50_ms": p50 * 1e3,
+			"latency_p90_ms": p90 * 1e3,
+			"latency_p99_ms": p99 * 1e3,
+			"latency_max_ms": max * 1e3,
+		})
+	} else {
+		fmt.Printf("loadgen: mode=%s workers=%d batch=%d elapsed=%.2fs\n",
+			cfg.mode, cfg.workers, cfg.batch, elapsed)
+		fmt.Printf("requests: %d (accepted %d, shed 429 %d, errors %d)\n",
+			col.requests.Load(), col.accepted.Load(), col.shed.Load(), col.errors.Load())
+		fmt.Printf("jobs:     %d accepted -> %.1f jobs/s\n", col.jobs.Load(), throughput)
+		fmt.Printf("latency:  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
+			p50*1e3, p90*1e3, p99*1e3, max*1e3)
+	}
+
+	if cfg.failOnError && col.errors.Load() > 0 {
+		return fmt.Errorf("%d requests failed", col.errors.Load())
+	}
+	if throughput < cfg.minThroughput {
+		return fmt.Errorf("throughput %.1f jobs/s below required %.1f", throughput, cfg.minThroughput)
+	}
+	return nil
+}

@@ -367,6 +367,17 @@ type Engine struct {
 	failed         map[topology.Failure]struct{}
 	failedSwitches int
 
+	// Incremental utilization integrals (read by UtilizationTo and
+	// SteadyUtilization): utilIntegral is ∫used dt from the first util event
+	// through the last UtilSeries point, maintained O(1) per pushUtil;
+	// steadyIntegral is the integral's value at SteadyEnd, captured whenever
+	// observe sees a non-empty queue; lastEndIntegral is its value at
+	// LastEnd. They exist so observers (the snapshot publisher) never pay an
+	// O(len(UtilSeries)) walk per observation.
+	utilIntegral    float64
+	steadyIntegral  float64
+	lastEndIntegral float64
+
 	acc         Accounting
 	counts      Counts
 	haveArrival bool
@@ -433,6 +444,10 @@ func (e *Engine) Idle() bool {
 
 // Counts returns the lifetime job-outcome tallies.
 func (e *Engine) Counts() Counts { return e.counts }
+
+// ActiveJobs returns the number of jobs currently queued or running — the
+// size of the working set a Snapshot would copy.
+func (e *Engine) ActiveJobs() int { return len(e.queue) + len(e.running) }
 
 // Accounting returns the metric ledger accumulated so far. The slices are
 // owned by the engine; callers must not mutate them.
@@ -508,6 +523,7 @@ func (e *Engine) Cancel(id int64) (JobStatus, error) {
 		// completion and overstate utilization.
 		if e.now > e.acc.LastEnd {
 			e.acc.LastEnd = e.now
+			e.lastEndIntegral = e.utilIntegralTo(e.now)
 		}
 		e.schedule(e.now)
 		e.observe(e.now)
@@ -581,6 +597,7 @@ func (e *Engine) Fail(f topology.Failure) (FailReport, error) {
 		// cancellation does.
 		if now > e.acc.LastEnd {
 			e.acc.LastEnd = now
+			e.lastEndIntegral = e.utilIntegralTo(now)
 		}
 	}
 
@@ -740,6 +757,7 @@ func (e *Engine) observe(now float64) {
 	e.acc.InstSamples = append(e.acc.InstSamples, float64(e.used)/float64(e.total))
 	if len(e.queue) > 0 {
 		e.acc.SteadyEnd = now
+		e.steadyIntegral = e.utilIntegralTo(now)
 	}
 }
 
@@ -757,6 +775,7 @@ func (e *Engine) complete(rj *runningJob, now float64) {
 	})
 	if now > e.acc.LastEnd {
 		e.acc.LastEnd = now
+		e.lastEndIntegral = e.utilIntegralTo(now)
 	}
 }
 
@@ -1100,12 +1119,69 @@ func (e *Engine) reservationClone(head *jobItem) (float64, alloc.Allocator, bool
 	return 0, nil, false
 }
 
-// pushUtil appends a used-node step (coalescing same-time updates).
+// pushUtil appends a used-node step (coalescing same-time updates) and
+// settles the just-closed segment into the running utilization integral.
+// Same-time overwrites never touch the integral: the segment they mutate has
+// zero width until a later point closes it at the final Used value.
 func (e *Engine) pushUtil(t float64) {
 	us := &e.acc.UtilSeries
-	if n := len(*us); n > 0 && (*us)[n-1].T == t {
-		(*us)[n-1].Used = e.used
-		return
+	if n := len(*us); n > 0 {
+		last := &(*us)[n-1]
+		if last.T == t {
+			last.Used = e.used
+			return
+		}
+		e.utilIntegral += float64(last.Used) * (t - last.T)
 	}
 	*us = append(*us, UtilPoint{T: t, Used: e.used})
+}
+
+// utilIntegralTo extends the settled integral from the last UtilSeries point
+// to t (t must not precede it; every caller passes a current-or-later time).
+func (e *Engine) utilIntegralTo(t float64) float64 {
+	us := e.acc.UtilSeries
+	if len(us) == 0 {
+		return 0
+	}
+	last := us[len(us)-1]
+	if t <= last.T {
+		return e.utilIntegral
+	}
+	return e.utilIntegral + float64(last.Used)*(t-last.T)
+}
+
+// UtilizationTo returns the average system utilization from the first
+// arrival to t (the current clock or later), the paper's used-node integral
+// normalized by machine size. O(1): it reads the incrementally-maintained
+// integral instead of walking UtilSeries, so observers can call it on every
+// snapshot publication. It matches metrics.SeriesUtilization over the same
+// bounds.
+func (e *Engine) UtilizationTo(t float64) float64 {
+	if !e.haveArrival || t <= e.acc.FirstArrival || e.total <= 0 {
+		return 0
+	}
+	return e.utilIntegralTo(t) / (float64(e.total) * (t - e.acc.FirstArrival))
+}
+
+// SteadyUtilization returns the steady-state average utilization — first
+// arrival to the start of the final drain, Section 5's metric — falling back
+// to the full span (first arrival to LastEnd) when no queue ever formed.
+// O(1), like UtilizationTo.
+func (e *Engine) SteadyUtilization() float64 {
+	start := e.acc.FirstArrival
+	end, integral := e.acc.SteadyEnd, e.steadyIntegral
+	if end <= start {
+		end, integral = e.acc.LastEnd, e.lastEndIntegral
+	}
+	if !e.haveArrival || end <= start || e.total <= 0 {
+		return 0
+	}
+	return integral / (float64(e.total) * (end - start))
+}
+
+// StateVersion returns the live allocation state's monotone version counter
+// (topology.State.Version), which observers use to tag a snapshot with the
+// exact fabric state it was taken at.
+func (e *Engine) StateVersion() uint64 {
+	return e.cfg.Alloc.State().Version()
 }

@@ -1,0 +1,388 @@
+package server
+
+// Tests for the batched front door: POST /v1/jobs:batch per-item results,
+// 429 backpressure when the ingest queue fills, snapshot metadata on read
+// endpoints, the HTTP-level batched-vs-serial differential, and the
+// shutdown-drains-accepted-work guarantee (run under -race in CI).
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+type batchResult struct {
+	Accepted int `json:"accepted"`
+	Failed   int `json:"failed"`
+	Results  []struct {
+		jobJSON
+		Error string `json:"error"`
+	} `json:"results"`
+}
+
+func postBatch(t *testing.T, base, body string) (int, batchResult) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br batchResult
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, br
+}
+
+func grepLines(body, substr string) string {
+	var out []string
+	for _, l := range strings.Split(body, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestBatchSubmitEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{VirtualClock: true})
+
+	// Mixed batch: two valid jobs around an invalid one. Per-item results
+	// come back in request order; the invalid item never reaches the engine.
+	code, br := postBatch(t, hs.URL,
+		`{"jobs":[{"size":8,"runtime":50},{"size":0,"runtime":5},{"size":8,"runtime":50}]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("batch status %d", code)
+	}
+	if br.Accepted != 2 || br.Failed != 1 || len(br.Results) != 3 {
+		t.Fatalf("batch summary %+v", br)
+	}
+	if br.Results[0].ID != 1 || br.Results[0].Error != "" {
+		t.Fatalf("item 0: %+v", br.Results[0])
+	}
+	if !strings.Contains(br.Results[1].Error, "size") {
+		t.Fatalf("item 1 error %q", br.Results[1].Error)
+	}
+	if br.Results[2].ID != 2 || br.Results[2].Error != "" {
+		t.Fatalf("item 2: %+v", br.Results[2])
+	}
+	// Both valid jobs were scheduled (two isolated 8-node partitions on the
+	// 16-node tree under Jigsaw).
+	for _, i := range []int{0, 2} {
+		if st := br.Results[i].State; st != "running" && st != "completed" {
+			t.Fatalf("item %d state %q", i, st)
+		}
+	}
+
+	// A duplicate explicit ID inside one batch: first wins, second carries
+	// the engine's rejection.
+	_, br = postBatch(t, hs.URL,
+		`{"jobs":[{"id":50,"size":2,"runtime":5},{"id":50,"size":2,"runtime":5}]}`)
+	if br.Accepted != 1 || br.Failed != 1 || br.Results[1].Error == "" {
+		t.Fatalf("duplicate-id batch %+v", br)
+	}
+
+	// Malformed bodies and bad shapes are rejected whole.
+	for body, want := range map[string]int{
+		`{"jobs":[]}`: http.StatusBadRequest,
+		`{}`:          http.StatusBadRequest,
+		`{"jobs":`:    http.StatusBadRequest,
+		`{"bogus":1}`: http.StatusBadRequest,
+	} {
+		if code, _ := postBatch(t, hs.URL, body); code != want {
+			t.Errorf("body %s: status %d, want %d", body, code, want)
+		}
+	}
+
+	waitDrained(t, hs.URL)
+}
+
+func TestBatchLargerThanQueueCapacityRejected(t *testing.T) {
+	_, hs := newTestServer(t, Config{VirtualClock: true, IngestQueue: 4})
+	items := make([]string, 5)
+	for i := range items {
+		items[i] = `{"size":1,"runtime":1}`
+	}
+	code, _ := postBatch(t, hs.URL, `{"jobs":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", code)
+	}
+}
+
+// TestBackpressure429 pins the satellite fix: when the ingest queue is full,
+// submits answer 429 with Retry-After immediately instead of blocking the
+// HTTP goroutine, and the shed load shows up in
+// jigsawd_ingest_rejected_total.
+func TestBackpressure429(t *testing.T) {
+	s, hs := newTestServer(t, Config{
+		NowFunc:     func() float64 { return 0 },
+		IngestQueue: 2,
+	})
+
+	// Park the engine goroutine inside an admin closure so nothing drains.
+	gate := make(chan struct{})
+	parked := make(chan struct{})
+	adminDone := make(chan error, 1)
+	go func() { adminDone <- s.do(func(e *engine.Engine) { close(parked); <-gate }) }()
+	<-parked
+
+	// Fill the queue with two async submits; their handlers block in Wait.
+	inflight := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+				strings.NewReader(`{"size":1,"runtime":5}`))
+			if err != nil {
+				inflight <- -1
+				return
+			}
+			resp.Body.Close()
+			inflight <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.batcher.Len() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("ingest queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next submit is shed, not blocked.
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"size":1,"runtime":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Batch submits shed the same way (all-or-nothing admission).
+	if code, _ := postBatch(t, hs.URL, `{"jobs":[{"size":1,"runtime":5}]}`); code != http.StatusTooManyRequests {
+		t.Fatalf("batch overload status %d, want 429", code)
+	}
+
+	// Reads still work while the writer is wedged — they are snapshot-served
+	// — and the rejected counter is already visible.
+	_, body := getText(t, hs.URL+"/metrics")
+	if !strings.Contains(body, "jigsawd_ingest_rejected_total 2") {
+		t.Fatalf("metrics missing rejected counter:\n%s", grepLines(body, "jigsawd_ingest"))
+	}
+
+	// Unblock; the two accepted submits must complete normally.
+	close(gate)
+	if err := <-adminDone; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if code := <-inflight; code != http.StatusAccepted {
+			t.Fatalf("accepted submit finished with %d", code)
+		}
+	}
+}
+
+// TestSnapshotMetadataOnReads pins the satellite: /v1/queue and /v1/cluster
+// carry the snapshot sequence, the fabric state version, and the publish
+// time, so read-path staleness is observable.
+func TestSnapshotMetadataOnReads(t *testing.T) {
+	_, hs := newTestServer(t, Config{NowFunc: func() float64 { return 0 }})
+	postJob(t, hs.URL, `{"size":4,"runtime":100}`)
+
+	for _, path := range []string{"/v1/queue", "/v1/cluster"} {
+		var meta struct {
+			Seq          *uint64 `json:"snapshot_seq"`
+			StateVersion *uint64 `json:"state_version"`
+			PublishedAt  string  `json:"published_at"`
+		}
+		if code := getJSON(t, hs.URL+path, &meta); code != http.StatusOK {
+			t.Fatalf("%s status %d", path, code)
+		}
+		if meta.Seq == nil || *meta.Seq == 0 {
+			t.Fatalf("%s: missing or zero snapshot_seq", path)
+		}
+		if meta.StateVersion == nil || *meta.StateVersion == 0 {
+			t.Fatalf("%s: missing or zero state_version (a job is running)", path)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, meta.PublishedAt); err != nil {
+			t.Fatalf("%s: published_at %q: %v", path, meta.PublishedAt, err)
+		}
+	}
+}
+
+// TestHTTPBatchedMatchesSerial is the HTTP layer of the differential: the
+// same frozen-clock job list through /v1/jobs one at a time and through one
+// /v1/jobs:batch call must yield identical per-job responses, queue
+// contents, and cluster counts.
+func TestHTTPBatchedMatchesSerial(t *testing.T) {
+	cfg := func() Config {
+		return Config{
+			Alloc:   baseline.NewAllocator(topology.MustNew(4)),
+			NowFunc: func() float64 { return 0 },
+		}
+	}
+	_, serialHS := newTestServer(t, cfg())
+	_, batchHS := newTestServer(t, cfg())
+
+	jobs := []string{
+		`{"size":8,"runtime":100}`,
+		`{"size":8,"runtime":100}`,
+		`{"size":16,"runtime":100}`, // queues behind the first two
+		`{"id":7,"size":2,"runtime":100}`,
+		`{"id":7,"size":2,"runtime":100}`, // duplicate: engine conflict
+		`{"size":3,"runtime":100}`,
+	}
+
+	var serial []jobJSON
+	var serialErr []bool
+	for _, j := range jobs {
+		resp, jj := postJob(t, serialHS.URL, j)
+		serialErr = append(serialErr, resp.StatusCode != http.StatusAccepted)
+		serial = append(serial, jj)
+	}
+
+	code, br := postBatch(t, batchHS.URL, `{"jobs":[`+strings.Join(jobs, ",")+`]}`)
+	if code != http.StatusAccepted || len(br.Results) != len(jobs) {
+		t.Fatalf("batch: %d %+v", code, br)
+	}
+	for i := range jobs {
+		batchedErr := br.Results[i].Error != ""
+		if batchedErr != serialErr[i] {
+			t.Fatalf("job %d: batched err=%v serial err=%v", i, batchedErr, serialErr[i])
+		}
+		if !batchedErr && br.Results[i].jobJSON != serial[i] {
+			t.Fatalf("job %d diverges:\nbatched: %+v\nserial:  %+v", i, br.Results[i].jobJSON, serial[i])
+		}
+	}
+
+	var qa, qb struct {
+		Depth int       `json:"depth"`
+		Jobs  []jobJSON `json:"jobs"`
+	}
+	getJSON(t, serialHS.URL+"/v1/queue", &qa)
+	getJSON(t, batchHS.URL+"/v1/queue", &qb)
+	if qa.Depth != qb.Depth || len(qa.Jobs) != len(qb.Jobs) {
+		t.Fatalf("queues diverge: %+v vs %+v", qa, qb)
+	}
+	for i := range qa.Jobs {
+		if qa.Jobs[i] != qb.Jobs[i] {
+			t.Fatalf("queued job %d diverges: %+v vs %+v", i, qa.Jobs[i], qb.Jobs[i])
+		}
+	}
+
+	var ca, cb clusterJSON
+	getJSON(t, serialHS.URL+"/v1/cluster", &ca)
+	getJSON(t, batchHS.URL+"/v1/cluster", &cb)
+	if ca.UsedNodes != cb.UsedNodes || ca.QueueDepth != cb.QueueDepth ||
+		ca.RunningJobs != cb.RunningJobs {
+		t.Fatalf("clusters diverge: %+v vs %+v", ca, cb)
+	}
+	for k, v := range ca.Counts {
+		if cb.Counts[k] != v {
+			t.Fatalf("count %s diverges: %d vs %d", k, v, cb.Counts[k])
+		}
+	}
+}
+
+// TestShutdownDrainsAcceptedWorkUnderLoad pins the satellite: Server.Close
+// during a submit storm never drops an acknowledged operation (every 202's
+// jobs are in the engine's ledger) and never hangs a client (late requests
+// fail cleanly). Run under -race in CI.
+func TestShutdownDrainsAcceptedWorkUnderLoad(t *testing.T) {
+	s, err := New(Config{
+		Alloc:        core.NewAllocator(topology.MustNew(4)),
+		VirtualClock: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	var acceptedJobs atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			client := hs.Client()
+			for i := 0; ; i++ {
+				var resp *http.Response
+				var err error
+				if i%3 == 0 {
+					resp, err = client.Post(hs.URL+"/v1/jobs:batch", "application/json",
+						strings.NewReader(`{"jobs":[{"size":1,"runtime":1},{"size":2,"runtime":1},{"size":1,"runtime":1}]}`))
+				} else {
+					resp, err = client.Post(hs.URL+"/v1/jobs", "application/json",
+						strings.NewReader(`{"size":1,"runtime":1}`))
+				}
+				if err != nil {
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					if i%3 == 0 {
+						var br batchResult
+						json.NewDecoder(resp.Body).Decode(&br)
+						acceptedJobs.Add(int64(br.Accepted))
+					} else {
+						acceptedJobs.Add(1)
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Clean shedding — legal during overload and shutdown.
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				select {
+				case <-s.done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(50 * time.Millisecond) // let the storm build
+	s.Close()
+	wg.Wait()
+
+	// Every acknowledged job is in the engine's ledger: producers are only
+	// released after the snapshot covering their ops is published, and the
+	// shutdown drain applies everything already accepted, so the final view
+	// counts exactly the jobs clients saw acknowledged.
+	if got := s.pub.Load().Snap.Counts.Submitted; got != acceptedJobs.Load() {
+		t.Fatalf("engine submitted %d, clients saw %d accepted", got, acceptedJobs.Load())
+	}
+	// And late requests fail cleanly.
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(`{"size":1,"runtime":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close submit status %d, want 503", resp.StatusCode)
+	}
+	if err := s.do(func(e *engine.Engine) {}); err != ErrClosed {
+		t.Fatalf("post-close do = %v, want ErrClosed", err)
+	}
+}

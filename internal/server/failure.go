@@ -126,15 +126,12 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is the liveness probe. A degraded fabric still answers 200 —
 // the daemon is alive and scheduling around the failures — but the body says
-// "degraded" so probes and humans can tell the difference at a glance.
+// "degraded" so probes and humans can tell the difference at a glance. It is
+// served from the published snapshot: a probe never waits on the engine.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	var degraded bool
-	if err := s.do(func(e *engine.Engine) { degraded = e.Degraded() }); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
+	v := s.pub.Load()
 	w.WriteHeader(http.StatusOK)
-	if degraded {
+	if v.Snap.FailedNodes+v.Snap.FailedLinks+v.Snap.FailedSwitches > 0 {
 		io.WriteString(w, "degraded\n")
 		return
 	}

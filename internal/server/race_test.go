@@ -137,3 +137,210 @@ func TestConcurrentSubmitCancelQuery(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentBatchFailRecoverSnapshotInvariants is the stress test for
+// the batched front door: batch and single submits, cancels, and
+// fail/recover cycles race against snapshot readers that check every loaded
+// view for internal consistency and monotone publication order. Run with
+// -race (CI does).
+func TestConcurrentBatchFailRecoverSnapshotInvariants(t *testing.T) {
+	s, err := New(Config{
+		Alloc:        core.NewAllocator(topology.MustNew(4)), // 16 nodes, 4 leaves
+		VirtualClock: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		s.Close()
+	}()
+
+	var accepted atomic.Int64
+	var writers sync.WaitGroup
+
+	// Submitters: batches of three jobs interleaved with single submits and
+	// occasional cancels. Sizes stay <= 12 so every job fits even with one
+	// leaf switch (4 nodes) failed: nothing is ever rejected for capacity.
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			client := hs.Client()
+			for i := 0; i < 30; i++ {
+				if i%3 == 0 {
+					var items []string
+					for k := 0; k < 3; k++ {
+						items = append(items, fmt.Sprintf(`{"size":%d,"runtime":%g}`,
+							1+rng.Intn(12), 0.5+rng.Float64()*3))
+					}
+					resp, err := client.Post(hs.URL+"/v1/jobs:batch", "application/json",
+						strings.NewReader(`{"jobs":[`+strings.Join(items, ",")+`]}`))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var br struct {
+						Accepted int `json:"accepted"`
+						Results  []struct {
+							ID    int64  `json:"id"`
+							Error string `json:"error"`
+						} `json:"results"`
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						t.Errorf("batch status %d", resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					json.NewDecoder(resp.Body).Decode(&br)
+					resp.Body.Close()
+					accepted.Add(int64(br.Accepted))
+					if br.Accepted != 3 {
+						t.Errorf("batch rejected items: %+v", br)
+						return
+					}
+					if i%6 == 0 && len(br.Results) > 0 {
+						// Cancel one of our own: 200 (alive) or 409 (already
+						// terminal) are both legal under the race.
+						req, _ := http.NewRequest(http.MethodDelete,
+							fmt.Sprintf("%s/v1/jobs/%d", hs.URL, br.Results[0].ID), nil)
+						r2, err := client.Do(req)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if r2.StatusCode != http.StatusOK && r2.StatusCode != http.StatusConflict {
+							t.Errorf("cancel: status %d", r2.StatusCode)
+						}
+						r2.Body.Close()
+					}
+				} else {
+					body := fmt.Sprintf(`{"size":%d,"runtime":%g}`, 1+rng.Intn(12), 0.5+rng.Float64()*3)
+					resp, err := client.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusAccepted {
+						t.Errorf("submit status %d", resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					resp.Body.Close()
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Failer: strict fail->recover cycles on random leaf switches. Each
+	// admin mutation runs serialized on the engine goroutine, so with one
+	// failer every request must succeed; running jobs hit by the failure are
+	// requeued (the default policy) and the conservation check below still
+	// holds.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewSource(42))
+		client := hs.Client()
+		for i := 0; i < 12; i++ {
+			body := fmt.Sprintf(`{"kind":"leaf-switch","leaf":%d}`, rng.Intn(4))
+			for _, path := range []string{"/v1/fail", "/v1/recover"} {
+				resp, err := client.Post(hs.URL+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	// Readers: every loaded view must be internally consistent, and the
+	// publication sequence and fabric state version must be monotone.
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			client := hs.Client()
+			var lastSeq, lastVersion uint64
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				var q struct {
+					Depth int       `json:"depth"`
+					Jobs  []jobJSON `json:"jobs"`
+					Seq   uint64    `json:"snapshot_seq"`
+				}
+				resp, err := client.Get(hs.URL + "/v1/queue")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				json.NewDecoder(resp.Body).Decode(&q)
+				resp.Body.Close()
+				if len(q.Jobs) != q.Depth {
+					t.Errorf("inconsistent queue view: %d jobs, depth %d", len(q.Jobs), q.Depth)
+					return
+				}
+				if q.Seq < lastSeq {
+					t.Errorf("snapshot_seq went backwards: %d after %d", q.Seq, lastSeq)
+					return
+				}
+				lastSeq = q.Seq
+
+				var c struct {
+					clusterJSON
+					StateVersion uint64 `json:"state_version"`
+				}
+				resp, err = client.Get(hs.URL + "/v1/cluster")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				json.NewDecoder(resp.Body).Decode(&c)
+				resp.Body.Close()
+				if c.StateVersion < lastVersion {
+					t.Errorf("state_version went backwards: %d after %d", c.StateVersion, lastVersion)
+					return
+				}
+				lastVersion = c.StateVersion
+				if done := c.Counts["completed"] + c.Counts["rejected"] + c.Counts["cancelled"]; done > c.Counts["submitted"] {
+					t.Errorf("view counts inconsistent: %d terminal > %d submitted", done, c.Counts["submitted"])
+					return
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	c := waitDrained(t, hs.URL)
+	want := accepted.Load()
+	if c.Counts["submitted"] != want {
+		t.Fatalf("submitted count %d, want %d", c.Counts["submitted"], want)
+	}
+	if got := c.Counts["completed"] + c.Counts["rejected"] + c.Counts["cancelled"]; got != want {
+		t.Fatalf("lost jobs: completed+rejected+cancelled = %d, submitted = %d (%+v)", got, want, c.Counts)
+	}
+	if c.Counts["rejected"] != 0 {
+		t.Fatalf("no job exceeds the degraded machine, yet %d rejected", c.Counts["rejected"])
+	}
+	if c.UsedNodes != 0 || c.FreeNodes != c.Nodes {
+		t.Fatalf("node accounting not conserved after drain: %+v", c)
+	}
+}

@@ -6,32 +6,54 @@
 // # Concurrency model
 //
 // The engine is single-threaded and is never locked. One goroutine — the
-// engine goroutine, started by New — owns it exclusively; HTTP handlers
-// submit closures over an unbuffered channel (do) and wait for them to run.
-// This single-writer discipline serializes every Submit/Cancel/Snapshot
-// without a mutex on allocation state and gives each request a consistent
-// view. The engine goroutine also drives time:
+// engine goroutine, started by New — owns it exclusively. The front door is
+// split by direction:
 //
-//   - virtual clock (Config.VirtualClock): whenever no request is waiting,
-//     the goroutine steps the engine to its next event, fast-forwarding
-//     through arrivals and completions as fast as the allocator can place
-//     them. Submitting a recorded trace replays it at full speed.
+//   - Writes (submit, cancel) flow through a bounded ingest queue
+//     (internal/ingest): HTTP goroutines enqueue operations without waiting
+//     for the engine to wake, and the engine goroutine drains everything
+//     queued — up to a batch bound — in one tick, applying each operation
+//     with the same per-op semantics as serial submission. A full queue
+//     sheds load with 429 + Retry-After instead of blocking.
+//   - Reads (/v1/queue, /v1/cluster, /metrics, /healthz) are served from an
+//     RCU-style immutable snapshot (internal/snapshot) the engine goroutine
+//     publishes with one atomic pointer swap. Reads never touch the engine
+//     goroutine, so read latency is independent of write load. While the
+//     active set is small (≤ publishCheapThreshold jobs) a snapshot is
+//     published after every drain, so a client that submits and immediately
+//     reads sees its own write. Under a sustained storm with a deep backlog
+//     — where capture cost is O(active jobs) and would dominate ingest
+//     throughput — publishes are throttled to one per publishMinInterval
+//     and flushed no later than that after load pauses, so reads are
+//     boundedly stale rather than a write-path bottleneck. GET /v1/jobs/{id}
+//     serves active jobs from the snapshot and falls back to an engine
+//     round trip for terminal ones (the snapshot indexes only the working
+//     set).
+//   - Admin mutations (fail, recover) still run as closures on the engine
+//     goroutine; each publishes a fresh snapshot before the response.
+//
+// The engine goroutine also drives time:
+//
+//   - virtual clock (Config.VirtualClock): whenever nothing is queued, the
+//     goroutine steps the engine to its next event, fast-forwarding through
+//     arrivals and completions as fast as the allocator can place them.
 //   - wall clock: the engine's virtual time tracks real seconds since the
 //     server started; a timer wakes the goroutine for the next completion,
-//     and every request first advances the engine to the current wall time.
+//     and every drain first advances the engine to the current wall time.
 //
 // # API
 //
-//	POST   /v1/jobs      submit a job            {"size":64,"runtime":3600}
-//	GET    /v1/jobs/{id} job status
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/queue     waiting jobs in FIFO order
-//	GET    /v1/cluster   topology, occupancy, utilization, counters
-//	POST   /v1/fail      fail a resource         {"kind":"node","node":5}
-//	POST   /v1/recover   recover a failed resource (same body as /v1/fail)
-//	GET    /metrics      Prometheus text format (version 0.0.4)
-//	GET    /healthz      liveness probe; reports "degraded" under failures
-//	/debug/pprof/        runtime profiling
+//	POST   /v1/jobs       submit a job           {"size":64,"runtime":3600}
+//	POST   /v1/jobs:batch submit many jobs       {"jobs":[{...},{...}]}
+//	GET    /v1/jobs/{id}  job status
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/queue      waiting jobs in FIFO order (snapshot-served)
+//	GET    /v1/cluster    topology, occupancy, utilization, counters
+//	POST   /v1/fail       fail a resource        {"kind":"node","node":5}
+//	POST   /v1/recover    recover a failed resource (same body as /v1/fail)
+//	GET    /metrics       Prometheus text format (version 0.0.4)
+//	GET    /healthz       liveness probe; reports "degraded" under failures
+//	/debug/pprof/         runtime profiling
 package server
 
 import (
@@ -49,8 +71,9 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/engine"
-	"repro/internal/metrics"
+	"repro/internal/ingest"
 	"repro/internal/scenario"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -81,6 +104,42 @@ type Config struct {
 	// NowFunc supplies wall-clock seconds for the wall mode; nil uses
 	// monotonic seconds since New. Exposed for tests.
 	NowFunc func() float64
+	// IngestQueue bounds accepted-but-unapplied operations; a full queue
+	// sheds new work with 429. 0 means the default (4096).
+	IngestQueue int
+	// MaxBatch bounds how many queued operations one engine tick applies.
+	// 0 means the default (256).
+	MaxBatch int
+}
+
+const (
+	defaultIngestQueue = 4096
+	defaultMaxBatch    = 256
+	// publishEveryStepsVirtual bounds snapshot staleness during long
+	// virtual-clock replays: mid-replay, readers are at most this many
+	// events behind.
+	publishEveryStepsVirtual = 64
+	// publishCheapThreshold is the active-job count up to which a snapshot
+	// capture is cheap enough to pay on every drain. Beyond it, capture cost
+	// is O(active jobs) per publish and would dominate ingest throughput, so
+	// publishes are spaced out in time instead.
+	publishCheapThreshold = 4096
+	// publishMinInterval is the floor on publish spacing once the active
+	// set is over the cheap threshold. The effective interval also scales
+	// with the measured capture cost (publishCostMultiple × the previous
+	// capture's duration) so that publish overhead stays a bounded fraction
+	// of engine time no matter how deep the backlog gets, clamped at
+	// publishMaxInterval. A deferred publish is flushed by the next drain
+	// past the interval, or by a wall-loop flush timer if load pauses.
+	publishMinInterval  = 25 * time.Millisecond
+	publishCostMultiple = 20
+	publishMaxInterval  = time.Second
+)
+
+// engineReq is one admin closure headed for the engine goroutine.
+type engineReq struct {
+	fn  func(*engine.Engine)
+	ran chan struct{}
 }
 
 // Server is one daemon instance: an engine, its owning goroutine, and the
@@ -90,16 +149,22 @@ type Server struct {
 	cfg  Config
 	eng  *engine.Engine
 	log  *slog.Logger
-	reqs chan func()
+	reqs chan engineReq
 	quit chan struct{}
 	done chan struct{}
 
-	// nextID assigns job IDs; only the engine goroutine touches it.
-	nextID int64
+	batcher *ingest.Batcher
+	applier *ingest.Applier
+	pub     *snapshot.Publisher
+	// lastPublish / publishPending / publishCost implement the deep-backlog
+	// publish throttle; engine goroutine only. See publishAfterDrain.
+	lastPublish    time.Time
+	publishPending bool
+	publishCost    time.Duration
 
 	httpStats *httpStats
 	latency   *latencyHist // engine time per scheduling request
-	queueWait *latencyHist // wait for the engine goroutine before the request runs
+	queueWait *latencyHist // wait in the ingest queue before the op runs
 }
 
 // New builds the engine and starts its owning goroutine.
@@ -128,14 +193,22 @@ func New(cfg Config) (*Server, error) {
 		start := time.Now()
 		cfg.NowFunc = func() float64 { return time.Since(start).Seconds() }
 	}
+	if cfg.IngestQueue <= 0 {
+		cfg.IngestQueue = defaultIngestQueue
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
 	s := &Server{
 		cfg:       cfg,
 		eng:       eng,
 		log:       logger,
-		reqs:      make(chan func()),
+		reqs:      make(chan engineReq),
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
-		nextID:    1,
+		batcher:   ingest.NewBatcher(cfg.IngestQueue, cfg.MaxBatch),
+		applier:   ingest.NewApplier(eng),
+		pub:       snapshot.NewPublisher(eng),
 		httpStats: newHTTPStats(),
 		latency:   newLatencyHist(),
 		queueWait: newLatencyHist(),
@@ -144,8 +217,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the engine goroutine. Safe to call more than once; requests
-// after Close fail with ErrClosed.
+// Close stops the engine goroutine. Operations already accepted into the
+// ingest queue are applied and answered before it stops; requests after
+// Close fail cleanly (ErrClosed / 503). Safe to call more than once.
 func (s *Server) Close() {
 	select {
 	case <-s.quit:
@@ -158,31 +232,86 @@ func (s *Server) Close() {
 // loop is the engine goroutine: the only code that touches s.eng.
 func (s *Server) loop() {
 	defer close(s.done)
+	if s.cfg.VirtualClock {
+		s.loopVirtual()
+	} else {
+		s.loopWall()
+	}
+}
+
+func (s *Server) loopVirtual() {
+	var buf []*ingest.Op
+	steps := 0
 	for {
-		if s.cfg.VirtualClock {
-			// Requests take priority; otherwise fast-forward one event.
-			select {
-			case fn := <-s.reqs:
-				fn()
-				continue
-			case <-s.quit:
-				return
-			default:
-			}
-			if _, ok := s.eng.Step(); ok {
-				continue
-			}
-			select {
-			case fn := <-s.reqs:
-				fn()
-			case <-s.quit:
-				return
+		// Queued work takes priority; otherwise fast-forward one event.
+		select {
+		case first := <-s.batcher.C():
+			buf = s.applyBatch(first, buf)
+			continue
+		case r := <-s.reqs:
+			s.runAdmin(r)
+			continue
+		case <-s.quit:
+			s.shutdownDrain(buf)
+			return
+		default:
+		}
+		if _, ok := s.eng.Step(); ok {
+			// Publish periodically mid-replay so snapshot readers are
+			// never more than a bounded number of events stale.
+			if steps++; steps >= publishEveryStepsVirtual {
+				s.publishNow()
+				steps = 0
 			}
 			continue
 		}
+		// Idle: make the fully-stepped state visible, then wait.
+		s.publishNow()
+		steps = 0
+		select {
+		case first := <-s.batcher.C():
+			buf = s.applyBatch(first, buf)
+		case r := <-s.reqs:
+			s.runAdmin(r)
+		case <-s.quit:
+			s.shutdownDrain(buf)
+			return
+		}
+	}
+}
 
-		// Wall mode: chase the real clock, waking for the next completion.
-		s.eng.AdvanceTo(s.cfg.NowFunc())
+func (s *Server) loopWall() {
+	var buf []*ingest.Op
+	for {
+		// Chase the real clock; publish only if time delivered events.
+		if s.eng.AdvanceTo(s.cfg.NowFunc()) > 0 {
+			s.publishNow()
+		}
+		// Storm fast path: while work is already queued, keep draining
+		// without paying for timer churn. Admin requests share the poll so
+		// they cannot starve behind a sustained ingest storm.
+		select {
+		case first := <-s.batcher.C():
+			buf = s.applyBatch(first, buf)
+			continue
+		case r := <-s.reqs:
+			s.runAdmin(r)
+			continue
+		case <-s.quit:
+			s.shutdownDrain(buf)
+			return
+		default:
+		}
+		// Flush a throttled publish once its interval has passed; otherwise
+		// fold the flush deadline into the wake timer so readers see the
+		// settled state even if no further drain arrives.
+		flushIn := time.Duration(-1)
+		if s.publishPending {
+			if flushIn = s.publishInterval() - time.Since(s.lastPublish); flushIn <= 0 {
+				s.publishNow()
+				flushIn = -1
+			}
+		}
 		var wake <-chan time.Time
 		var timer *time.Timer
 		if t, ok := s.eng.NextEventTime(); ok {
@@ -190,18 +319,28 @@ func (s *Server) loop() {
 			if d < 0 {
 				d = 0
 			}
+			if flushIn >= 0 && flushIn < d {
+				d = flushIn
+			}
 			timer = time.NewTimer(d)
+			wake = timer.C
+		} else if flushIn >= 0 {
+			timer = time.NewTimer(flushIn)
 			wake = timer.C
 		}
 		select {
-		case fn := <-s.reqs:
+		case first := <-s.batcher.C():
 			s.eng.AdvanceTo(s.cfg.NowFunc())
-			fn()
+			buf = s.applyBatch(first, buf)
+		case r := <-s.reqs:
+			s.eng.AdvanceTo(s.cfg.NowFunc())
+			s.runAdmin(r)
 		case <-wake:
 		case <-s.quit:
 			if timer != nil {
 				timer.Stop()
 			}
+			s.shutdownDrain(buf)
 			return
 		}
 		if timer != nil {
@@ -210,12 +349,97 @@ func (s *Server) loop() {
 	}
 }
 
-// do runs fn on the engine goroutine and waits for it to finish.
+// runAdmin executes one engine closure, publishes the state it produced,
+// and only then releases the caller, so the response's effects are already
+// visible to snapshot readers.
+func (s *Server) runAdmin(r engineReq) {
+	r.fn(s.eng)
+	s.publishNow()
+	close(r.ran)
+}
+
+// publishNow captures and publishes unconditionally, records the capture
+// cost for the adaptive throttle, and resets it.
+func (s *Server) publishNow() {
+	t0 := time.Now()
+	s.pub.Publish(s.eng)
+	s.publishCost = time.Since(t0)
+	s.lastPublish = t0
+	s.publishPending = false
+}
+
+// publishInterval is the current minimum spacing between publishes while the
+// active set is over the cheap threshold: the floor, scaled up with measured
+// capture cost so capture work stays at most ~1/publishCostMultiple of
+// engine time.
+func (s *Server) publishInterval() time.Duration {
+	d := publishCostMultiple * s.publishCost
+	if d < publishMinInterval {
+		d = publishMinInterval
+	}
+	if d > publishMaxInterval {
+		d = publishMaxInterval
+	}
+	return d
+}
+
+// publishAfterDrain publishes the snapshot covering a drain — immediately
+// while the active set is small enough that capture is cheap, and on the
+// adaptive interval once capture cost (O(active jobs)) would otherwise
+// dominate ingest throughput. A deferred publish is flushed by the next
+// drain past the interval, or by the wall loop's flush timer when load
+// pauses, so reader staleness is bounded by publishInterval.
+func (s *Server) publishAfterDrain() {
+	if s.eng.ActiveJobs() <= publishCheapThreshold || time.Since(s.lastPublish) >= s.publishInterval() {
+		s.publishNow()
+		return
+	}
+	s.publishPending = true
+}
+
+// applyBatch coalesces everything queued behind first into one engine tick.
+func (s *Server) applyBatch(first *ingest.Op, buf []*ingest.Op) []*ingest.Op {
+	buf = s.batcher.Collect(first, buf)
+	s.runOps(buf)
+	return buf
+}
+
+// runOps applies a drained batch, publishes the covering snapshot (possibly
+// deferred under storm backlog; see publishAfterDrain), and releases the
+// waiting producers.
+func (s *Server) runOps(ops []*ingest.Op) {
+	for _, op := range ops {
+		tRun := time.Now()
+		s.queueWait.Observe(tRun.Sub(op.EnqueuedAt).Seconds())
+		s.applier.Apply(op)
+		s.latency.Observe(time.Since(tRun).Seconds())
+	}
+	s.publishAfterDrain()
+	for _, op := range ops {
+		op.Finish()
+	}
+}
+
+// shutdownDrain closes admission, applies every operation the queue already
+// accepted (so no acknowledged enqueue is silently dropped), and publishes
+// the final state.
+func (s *Server) shutdownDrain(buf []*ingest.Op) {
+	s.batcher.CloseEnqueue()
+	if rest := s.batcher.DrainRemaining(buf); len(rest) > 0 {
+		s.runOps(rest)
+	}
+	if s.publishPending {
+		s.publishNow()
+	}
+}
+
+// do runs fn on the engine goroutine and waits for it to finish (admin and
+// point-read path; the submit/cancel hot path uses the ingest queue).
 func (s *Server) do(fn func(e *engine.Engine)) error {
-	ran := make(chan struct{})
+	r := engineReq{fn: fn, ran: make(chan struct{})}
 	select {
-	case s.reqs <- func() { fn(s.eng); close(ran) }:
-		<-ran
+	case s.reqs <- r:
+		<-r.ran
 		return nil
 	case <-s.done:
 		return ErrClosed
@@ -227,6 +451,7 @@ func (s *Server) do(fn func(e *engine.Engine)) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.instrument("POST /v1/jobs", s.handleSubmit))
+	mux.HandleFunc("POST /v1/jobs:batch", s.instrument("POST /v1/jobs:batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("GET /v1/jobs/{id}", s.handleGetJob))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("DELETE /v1/jobs/{id}", s.handleCancel))
 	mux.HandleFunc("GET /v1/queue", s.instrument("GET /v1/queue", s.handleQueue))
@@ -346,14 +571,52 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// submitRequest is the POST /v1/jobs body. ID 0 auto-assigns; Arrival is a
-// virtual-clock timestamp honored only in virtual mode (wall mode schedules
-// at the current time).
+// writeIngestError maps ingest admission failures: a full queue is 429 with
+// Retry-After (the client should back off, never block), a closed server is
+// 503.
+func writeIngestError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ingest.ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+// submitRequest is the POST /v1/jobs body (and one element of the
+// /v1/jobs:batch jobs array). ID 0 auto-assigns; Arrival is a virtual-clock
+// timestamp honored only in virtual mode (wall mode schedules at the
+// current time).
 type submitRequest struct {
 	ID      int64   `json:"id"`
 	Size    int     `json:"size"`
 	Runtime float64 `json:"runtime"`
 	Arrival float64 `json:"arrival"`
+}
+
+// validateSubmit applies the admission checks shared by the single and
+// batch submit endpoints, clamping Arrival in wall mode.
+func (s *Server) validateSubmit(req *submitRequest) error {
+	if req.Size < 1 {
+		return errors.New("size must be at least 1")
+	}
+	if total := s.cfg.Alloc.Tree().Nodes(); req.Size > total {
+		return fmt.Errorf("size %d exceeds cluster size %d", req.Size, total)
+	}
+	if req.Runtime <= 0 {
+		return errors.New("runtime must be positive")
+	}
+	if req.ID < 0 {
+		return errors.New("id must be non-negative")
+	}
+	if !s.cfg.VirtualClock {
+		req.Arrival = 0 // clamped to the engine's current wall time
+	}
+	return nil
+}
+
+func (req *submitRequest) job() trace.Job {
+	return trace.Job{ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -364,62 +627,92 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
 		return
 	}
-	if req.Size < 1 {
-		writeError(w, http.StatusBadRequest, "size must be at least 1")
+	if err := s.validateSubmit(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if total := s.cfg.Alloc.Tree().Nodes(); req.Size > total {
-		writeError(w, http.StatusBadRequest, "size %d exceeds cluster size %d", req.Size, total)
+	op := &ingest.Op{Kind: ingest.Submit, Job: req.job(), EnqueuedAt: time.Now()}
+	batch, err := s.batcher.Enqueue(op)
+	if err != nil {
+		writeIngestError(w, err)
 		return
 	}
-	if req.Runtime <= 0 {
-		writeError(w, http.StatusBadRequest, "runtime must be positive")
+	batch.Wait()
+	if op.Err != nil {
+		writeError(w, http.StatusConflict, "%v", op.Err)
 		return
 	}
-	if req.ID < 0 {
-		writeError(w, http.StatusBadRequest, "id must be non-negative")
+	writeJSON(w, http.StatusAccepted, toJobJSON(op.Status))
+}
+
+// batchItemResult is one element of the /v1/jobs:batch response: the job's
+// status on success (flattened), or an error string.
+type batchItemResult struct {
+	*jobJSON
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []submitRequest `json:"jobs"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
 		return
 	}
-	if !s.cfg.VirtualClock {
-		req.Arrival = 0 // clamped to the engine's current wall time
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "jobs must be non-empty")
+		return
+	}
+	if max := s.batcher.Cap(); len(req.Jobs) > max {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d jobs exceeds ingest queue capacity %d", len(req.Jobs), max)
+		return
 	}
 
-	var st engine.JobStatus
-	var submitErr error
-	// Engine time is measured inside the closure so the histogram reflects
-	// only scheduling work; the wait for the engine goroutine (which grows
-	// with load, not with allocator cost) is tracked separately.
-	t0 := time.Now()
-	err := s.do(func(e *engine.Engine) {
-		tRun := time.Now()
-		s.queueWait.Observe(tRun.Sub(t0).Seconds())
-		defer func() { s.latency.Observe(time.Since(tRun).Seconds()) }()
-		if req.ID == 0 {
-			req.ID = s.nextID
+	// Per-item validation never involves the engine; only valid items are
+	// enqueued, all-or-nothing, so overload rejects the whole request.
+	results := make([]batchItemResult, len(req.Jobs))
+	ops := make([]*ingest.Op, 0, len(req.Jobs))
+	idx := make([]int, 0, len(req.Jobs))
+	now := time.Now()
+	for i := range req.Jobs {
+		if err := s.validateSubmit(&req.Jobs[i]); err != nil {
+			results[i].Error = err.Error()
+			continue
 		}
-		submitErr = e.Submit(trace.Job{
-			ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime,
-		})
-		if submitErr != nil {
+		ops = append(ops, &ingest.Op{Kind: ingest.Submit, Job: req.Jobs[i].job(), EnqueuedAt: now})
+		idx = append(idx, i)
+	}
+	if len(ops) > 0 {
+		batch, err := s.batcher.Enqueue(ops...)
+		if err != nil {
+			writeIngestError(w, err)
 			return
 		}
-		if req.ID >= s.nextID {
-			s.nextID = req.ID + 1
+		batch.Wait()
+		for k, op := range ops {
+			if op.Err != nil {
+				results[idx[k]].Error = op.Err.Error()
+				continue
+			}
+			jj := toJobJSON(op.Status)
+			results[idx[k]].jobJSON = &jj
 		}
-		// Deliver every event due now so the response reflects the
-		// scheduling decision (running vs queued).
-		e.AdvanceTo(e.Now())
-		st, _ = e.Status(req.ID)
+	}
+	accepted := 0
+	for i := range results {
+		if results[i].Error == "" {
+			accepted++
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted": accepted,
+		"failed":   len(results) - accepted,
+		"results":  results,
 	})
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	if submitErr != nil {
-		writeError(w, http.StatusConflict, "%v", submitErr)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, toJobJSON(st))
 }
 
 func jobID(r *http.Request) (int64, error) {
@@ -430,6 +723,12 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id, err := jobID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job id")
+		return
+	}
+	// Active jobs are indexed in the published snapshot; terminal and
+	// unknown IDs fall back to a point lookup on the engine goroutine.
+	if st, ok := s.pub.Load().Jobs[id]; ok {
+		writeJSON(w, http.StatusOK, toJobJSON(st))
 		return
 	}
 	var st engine.JobStatus
@@ -451,126 +750,92 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job id")
 		return
 	}
-	var st engine.JobStatus
-	var known bool
-	var cancelErr error
-	t0 := time.Now()
-	doErr := s.do(func(e *engine.Engine) {
-		tRun := time.Now()
-		s.queueWait.Observe(tRun.Sub(t0).Seconds())
-		defer func() { s.latency.Observe(time.Since(tRun).Seconds()) }()
-		if _, known = e.Status(id); !known {
-			return
-		}
-		st, cancelErr = e.Cancel(id)
-	})
-	if doErr != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", doErr)
+	op := &ingest.Op{Kind: ingest.Cancel, ID: id, EnqueuedAt: time.Now()}
+	batch, enqErr := s.batcher.Enqueue(op)
+	if enqErr != nil {
+		writeIngestError(w, enqErr)
 		return
 	}
-	if !known {
+	batch.Wait()
+	if !op.Known {
 		writeError(w, http.StatusNotFound, "unknown job %d", id)
 		return
 	}
-	if cancelErr != nil {
-		writeError(w, http.StatusConflict, "%v", cancelErr)
+	if op.Err != nil {
+		writeError(w, http.StatusConflict, "%v", op.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toJobJSON(st))
+	writeJSON(w, http.StatusOK, toJobJSON(op.Status))
+}
+
+// snapshotMeta are the staleness-observability fields every snapshot-served
+// response carries: which publication answered, at what fabric version,
+// published when.
+func snapshotMeta(v *snapshot.View) (uint64, uint64, string) {
+	return v.Seq, v.StateVersion, v.PublishedAt.UTC().Format(time.RFC3339Nano)
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
-	var snap engine.Snapshot
-	if err := s.do(func(e *engine.Engine) { snap = e.Snapshot() }); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	jobs := make([]jobJSON, 0, len(snap.Queue))
-	for _, st := range snap.Queue {
+	v := s.pub.Load()
+	jobs := make([]jobJSON, 0, len(v.Snap.Queue))
+	for _, st := range v.Snap.Queue {
 		jobs = append(jobs, toJobJSON(st))
 	}
+	seq, version, published := snapshotMeta(v)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"now":   snap.Now,
-		"depth": snap.QueueDepth,
-		"jobs":  jobs,
+		"now":           v.Snap.Now,
+		"depth":         v.Snap.QueueDepth,
+		"jobs":          jobs,
+		"snapshot_seq":  seq,
+		"state_version": version,
+		"published_at":  published,
 	})
-}
-
-// obs is the consistent engine observation /v1/cluster and /metrics share.
-type obs struct {
-	snap    engine.Snapshot
-	utilNow float64 // utilization from first arrival to the current clock
-	utilSS  float64 // steady-state utilization (drain excluded)
-	// Negative-feasibility cache counters (engine.Accounting).
-	feasHits, feasMisses, feasInvalidations int
-}
-
-func (s *Server) observe() (obs, error) {
-	var o obs
-	err := s.do(func(e *engine.Engine) {
-		o.snap = e.Snapshot()
-		acc := e.Accounting()
-		o.utilNow = metrics.SeriesUtilization(acc.UtilSeries, acc.FirstArrival, o.snap.Now, o.snap.TotalNodes)
-		end := acc.SteadyEnd
-		if end <= acc.FirstArrival {
-			end = acc.LastEnd
-		}
-		o.utilSS = metrics.SeriesUtilization(acc.UtilSeries, acc.FirstArrival, end, o.snap.TotalNodes)
-		o.feasHits = acc.FeasCacheHits
-		o.feasMisses = acc.FeasCacheMisses
-		o.feasInvalidations = acc.FeasCacheInvalidations
-	})
-	return o, err
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	o, err := s.observe()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
+	v := s.pub.Load()
 	tree := s.cfg.Alloc.Tree()
+	seq, version, published := snapshotMeta(v)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"policy":       s.cfg.Alloc.Name(),
 		"clock":        s.clockName(),
 		"radix":        tree.Radix,
-		"nodes":        o.snap.TotalNodes,
-		"used_nodes":   o.snap.UsedNodes,
-		"free_nodes":   o.snap.FreeNodes,
-		"queue_depth":  o.snap.QueueDepth,
-		"running_jobs": o.snap.RunningJobs,
-		"now":          o.snap.Now,
+		"nodes":        v.Snap.TotalNodes,
+		"used_nodes":   v.Snap.UsedNodes,
+		"free_nodes":   v.Snap.FreeNodes,
+		"queue_depth":  v.Snap.QueueDepth,
+		"running_jobs": v.Snap.RunningJobs,
+		"now":          v.Snap.Now,
 		"counts": map[string]int64{
-			"submitted": o.snap.Counts.Submitted,
-			"started":   o.snap.Counts.Started,
-			"completed": o.snap.Counts.Completed,
-			"rejected":  o.snap.Counts.Rejected,
-			"cancelled": o.snap.Counts.Cancelled,
-			"requeued":  o.snap.Counts.Requeued,
-			"killed":    o.snap.Counts.Killed,
+			"submitted": v.Snap.Counts.Submitted,
+			"started":   v.Snap.Counts.Started,
+			"completed": v.Snap.Counts.Completed,
+			"rejected":  v.Snap.Counts.Rejected,
+			"cancelled": v.Snap.Counts.Cancelled,
+			"requeued":  v.Snap.Counts.Requeued,
+			"killed":    v.Snap.Counts.Killed,
 		},
-		"degraded": o.snap.FailedNodes+o.snap.FailedLinks+o.snap.FailedSwitches > 0,
+		"degraded": v.Snap.FailedNodes+v.Snap.FailedLinks+v.Snap.FailedSwitches > 0,
 		"failed": map[string]int{
-			"nodes":    o.snap.FailedNodes,
-			"links":    o.snap.FailedLinks,
-			"switches": o.snap.FailedSwitches,
+			"nodes":    v.Snap.FailedNodes,
+			"links":    v.Snap.FailedLinks,
+			"switches": v.Snap.FailedSwitches,
 		},
 		"utilization": map[string]float64{
-			"instant": float64(o.snap.UsedNodes) / float64(o.snap.TotalNodes),
-			"to_now":  o.utilNow,
-			"steady":  o.utilSS,
+			"instant": float64(v.Snap.UsedNodes) / float64(v.Snap.TotalNodes),
+			"to_now":  v.UtilNow,
+			"steady":  v.UtilSteady,
 		},
+		"snapshot_seq":  seq,
+		"state_version": version,
+		"published_at":  published,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	o, err := s.observe()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
+	v := s.pub.Load()
 	mw := newMetricsWriter()
-	c := o.snap.Counts
+	c := v.Snap.Counts
 	mw.counter("jigsawd_jobs_submitted_total", "Jobs accepted by the engine.", c.Submitted)
 	mw.counter("jigsawd_jobs_started_total", "Jobs that received an allocation and started.", c.Started)
 	mw.counter("jigsawd_jobs_completed_total", "Jobs that ran to completion.", c.Completed)
@@ -578,26 +843,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.counter("jigsawd_jobs_cancelled_total", "Jobs cancelled while queued or running.", c.Cancelled)
 	mw.counter("jigsawd_jobs_requeued_total", "Running jobs returned to the queue by a resource failure.", c.Requeued)
 	mw.counter("jigsawd_jobs_killed_total", "Running jobs killed by a resource failure (fail policy kill).", c.Killed)
-	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", o.snap.QueueDepth)
-	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", o.snap.RunningJobs)
-	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", o.snap.TotalNodes)
-	mw.gaugeInt("jigsawd_nodes_used", "Nodes counted at requested job sizes (paper's utilization definition).", o.snap.UsedNodes)
-	mw.gaugeInt("jigsawd_nodes_free", "Nodes the allocator reports free (rounded allocations excluded).", o.snap.FreeNodes)
-	mw.gauge("jigsawd_utilization_instant", "used/total at the current instant.", float64(o.snap.UsedNodes)/float64(o.snap.TotalNodes))
-	mw.gauge("jigsawd_utilization_to_now", "Average utilization from first arrival to the current clock.", o.utilNow)
-	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", o.utilSS)
-	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", o.snap.Now)
-	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", o.snap.PendingEvents)
-	mw.gaugeInt("jigsawd_failed_nodes", "Compute nodes currently marked failed.", o.snap.FailedNodes)
-	mw.gaugeInt("jigsawd_failed_links", "Uplinks (leaf->L2 and L2->spine) currently marked failed.", o.snap.FailedLinks)
-	mw.gaugeInt("jigsawd_failed_switches", "Whole-switch failures (leaf, L2, or spine) currently active.", o.snap.FailedSwitches)
-	mw.counter("jigsawd_feasibility_cache_hits_total", "Allocation attempts answered infeasible from the negative-feasibility cache without a search.", int64(o.feasHits))
-	mw.counter("jigsawd_feasibility_cache_misses_total", "Feasibility-cache consults that fell through to a real allocator search.", int64(o.feasMisses))
-	mw.counter("jigsawd_feasibility_cache_invalidations_total", "Times a state-version change discarded cached infeasibility verdicts.", int64(o.feasInvalidations))
+	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", v.Snap.QueueDepth)
+	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", v.Snap.RunningJobs)
+	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", v.Snap.TotalNodes)
+	mw.gaugeInt("jigsawd_nodes_used", "Nodes counted at requested job sizes (paper's utilization definition).", v.Snap.UsedNodes)
+	mw.gaugeInt("jigsawd_nodes_free", "Nodes the allocator reports free (rounded allocations excluded).", v.Snap.FreeNodes)
+	mw.gauge("jigsawd_utilization_instant", "used/total at the current instant.", float64(v.Snap.UsedNodes)/float64(v.Snap.TotalNodes))
+	mw.gauge("jigsawd_utilization_to_now", "Average utilization from first arrival to the current clock.", v.UtilNow)
+	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", v.UtilSteady)
+	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", v.Snap.Now)
+	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", v.Snap.PendingEvents)
+	mw.gaugeInt("jigsawd_failed_nodes", "Compute nodes currently marked failed.", v.Snap.FailedNodes)
+	mw.gaugeInt("jigsawd_failed_links", "Uplinks (leaf->L2 and L2->spine) currently marked failed.", v.Snap.FailedLinks)
+	mw.gaugeInt("jigsawd_failed_switches", "Whole-switch failures (leaf, L2, or spine) currently active.", v.Snap.FailedSwitches)
+	mw.counter("jigsawd_feasibility_cache_hits_total", "Allocation attempts answered infeasible from the negative-feasibility cache without a search.", int64(v.FeasHits))
+	mw.counter("jigsawd_feasibility_cache_misses_total", "Feasibility-cache consults that fell through to a real allocator search.", int64(v.FeasMisses))
+	mw.counter("jigsawd_feasibility_cache_invalidations_total", "Times a state-version change discarded cached infeasibility verdicts.", int64(v.FeasInvalidations))
+	mw.counter("jigsawd_ingest_accepted_total", "Operations admitted to the ingest queue.", s.batcher.Accepted())
+	mw.counter("jigsawd_ingest_rejected_total", "Operations shed with 429 because the ingest queue was full.", s.batcher.Rejected())
+	mw.gaugeInt("jigsawd_ingest_queue_depth", "Operations accepted but not yet applied.", s.batcher.Len())
+	mw.gaugeInt("jigsawd_ingest_queue_capacity", "Bound on accepted-but-unapplied operations.", s.batcher.Cap())
+	mw.counter("jigsawd_snapshot_publishes_total", "Read-path snapshot publications since start.", int64(v.Seq))
+	mw.gauge("jigsawd_snapshot_state_version", "Allocation-state version the published snapshot was captured at.", float64(v.StateVersion))
 	s.latency.write(mw, "jigsawd_schedule_latency_seconds",
 		"Engine time per scheduling request (Submit/Cancel plus the event steps it triggers), measured on the engine goroutine; queue wait excluded.")
 	s.queueWait.write(mw, "jigsawd_request_queue_wait_seconds",
-		"Time a scheduling request waits for the engine goroutine before it starts executing.")
+		"Time a scheduling request waits in the ingest queue before the engine goroutine starts executing it.")
 	s.httpStats.write(mw, "jigsawd_http_requests_total")
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, mw.String())

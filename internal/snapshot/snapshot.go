@@ -1,0 +1,107 @@
+// Package snapshot is the daemon's RCU-style read path: at drain boundaries
+// the engine goroutine captures an immutable View of the scheduler — queue,
+// running set, occupancy, accounting figures, fabric failure summary, and
+// the allocation-state version — and publishes it with one atomic pointer
+// swap. Read endpoints load the current pointer and serve entirely from the
+// View, so reads are wait-free, never contend with the writer, and are
+// linearizable at a published snapshot: every response describes the exact
+// engine state at some drain boundary, identified by Seq and StateVersion.
+// (Capture is O(active jobs), so under deep backlogs the server publishes on
+// a bounded cadence rather than after literally every drain; see
+// internal/server.)
+//
+// The View holds no references into live engine state (engine.Snapshot
+// copies its slices; everything else here is scalar), so a loaded View
+// remains valid forever regardless of what the engine does next.
+package snapshot
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// View is one immutable observation of the engine. Fields are never
+// mutated after Publish; readers may retain a View indefinitely.
+type View struct {
+	// Seq numbers publications from 1; it increases by exactly one per
+	// publish, so readers can detect staleness and order observations.
+	Seq uint64
+	// PublishedAt is the wall-clock publication time (observability
+	// metadata; the engine's own clock is Snap.Now).
+	PublishedAt time.Time
+	// StateVersion is the allocation state's monotone version counter at
+	// capture time — the exact fabric state the View describes.
+	StateVersion uint64
+
+	// Snap is the engine's consistent observable state: queue (FIFO),
+	// running set, occupancy, counts, and failed-resource summary.
+	Snap engine.Snapshot
+
+	// Jobs indexes the active (queued or running) jobs by ID for point
+	// reads. Terminal jobs are not here; the server falls back to the
+	// engine for those.
+	Jobs map[int64]engine.JobStatus
+
+	// UtilNow is the average utilization from first arrival to Snap.Now;
+	// UtilSteady is the steady-state figure (final drain excluded).
+	UtilNow, UtilSteady float64
+
+	// Negative-feasibility cache counters (engine.Accounting).
+	FeasHits, FeasMisses, FeasInvalidations int
+}
+
+// Publisher owns the current-view pointer. One goroutine (the engine
+// goroutine) calls Publish; any number of goroutines call Load.
+type Publisher struct {
+	cur atomic.Pointer[View]
+	seq uint64
+}
+
+// NewPublisher starts with an empty published View (Seq 0) built from the
+// engine's initial state, so readers never observe nil.
+func NewPublisher(e *engine.Engine) *Publisher {
+	p := &Publisher{}
+	v := capture(e)
+	p.cur.Store(v)
+	return p
+}
+
+// capture builds a View from the engine. Engine-goroutine only.
+func capture(e *engine.Engine) *View {
+	v := &View{
+		PublishedAt:  time.Now(),
+		StateVersion: e.StateVersion(),
+		Snap:         e.Snapshot(),
+	}
+	v.UtilNow = e.UtilizationTo(v.Snap.Now)
+	v.UtilSteady = e.SteadyUtilization()
+	acc := e.Accounting()
+	v.FeasHits = acc.FeasCacheHits
+	v.FeasMisses = acc.FeasCacheMisses
+	v.FeasInvalidations = acc.FeasCacheInvalidations
+	v.Jobs = make(map[int64]engine.JobStatus, len(v.Snap.Queue)+len(v.Snap.Running))
+	for _, st := range v.Snap.Queue {
+		v.Jobs[st.Job.ID] = st
+	}
+	for _, st := range v.Snap.Running {
+		v.Jobs[st.Job.ID] = st
+	}
+	return v
+}
+
+// Publish captures the engine's state and swaps it in as the current View.
+// Only the engine goroutine may call it; the swap is the release edge that
+// makes the drain's effects visible to readers.
+func (p *Publisher) Publish(e *engine.Engine) *View {
+	v := capture(e)
+	p.seq++
+	v.Seq = p.seq
+	p.cur.Store(v)
+	return v
+}
+
+// Load returns the current View: wait-free, safe from any goroutine, never
+// nil.
+func (p *Publisher) Load() *View { return p.cur.Load() }
