@@ -16,10 +16,14 @@
 // B/op and allocs/op. Non-benchmark lines are ignored, so raw `go test`
 // output pipes straight in.
 //
-// The gate compares ns/op only (allocation counts are pinned by dedicated
-// tests where they matter) and only for benchmarks present on both sides:
-// new benchmarks pass, and benchmarks deleted from the suite are reported
-// but do not fail the run. Improvements never fail.
+// The gate compares ns/op within -tolerance and, for benchmarks whose
+// baseline records 0 allocs/op, allocs/op with zero tolerance — a zero-alloc
+// guarantee that drifts to even one allocation per op is a regression no
+// ns/op tolerance should forgive. Only benchmarks present on both sides are
+// gated: new benchmarks pass, and benchmarks deleted from the suite are
+// reported but do not fail the run. A zero-alloc baseline whose current run
+// lacks -benchmem data is reported as a warning (the guarantee cannot be
+// checked), not a failure. Improvements never fail.
 package main
 
 import (
@@ -156,11 +160,18 @@ type regression struct {
 	Base     float64 // baseline ns/op
 	Current  float64 // current ns/op
 	Ratio    float64 // current/base
-	Breached bool    // over tolerance
+	Breached bool    // ns/op over tolerance
+
+	// Alloc gate, active when the baseline records 0 allocs/op.
+	AllocBreached bool    // current allocs/op > 0
+	AllocCurrent  float64 // current allocs/op when breached
+	AllocUnknown  bool    // baseline is zero-alloc but current lacks allocs/op
 }
 
 // compare gates current medians against a baseline: shared benchmarks whose
-// ns/op grew by more than tolerance (0.15 = +15%) are breaches. Benchmarks
+// ns/op grew by more than tolerance (0.15 = +15%) are breaches, and shared
+// benchmarks whose baseline is 0 allocs/op breach on any nonzero current
+// allocs/op (zero tolerance — the zero-alloc guarantee is exact). Benchmarks
 // on only one side are skipped (returned with Base or Current zero so the
 // caller can report them).
 func compare(current, base map[string]result, tolerance float64) []regression {
@@ -178,10 +189,20 @@ func compare(current, base map[string]result, tolerance float64) []regression {
 			continue
 		}
 		ratio := c.NsPerOp / b.NsPerOp
-		out = append(out, regression{
+		r := regression{
 			Name: name, Base: b.NsPerOp, Current: c.NsPerOp, Ratio: ratio,
 			Breached: ratio > 1+tolerance,
-		})
+		}
+		if b.AllocsOp != nil && *b.AllocsOp == 0 {
+			switch {
+			case c.AllocsOp == nil:
+				r.AllocUnknown = true
+			case *c.AllocsOp > 0:
+				r.AllocBreached = true
+				r.AllocCurrent = *c.AllocsOp
+			}
+		}
+		out = append(out, r)
 	}
 	return out
 }
@@ -222,6 +243,7 @@ func main() {
 		switch {
 		case r.Current == 0:
 			fmt.Fprintf(os.Stderr, "benchjson: %s: in baseline but not in current run (skipped)\n", r.Name)
+			continue
 		case r.Breached:
 			failed = true
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.0f%%)\n",
@@ -229,6 +251,15 @@ func main() {
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: ok %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
 				r.Name, r.Base, r.Current, (r.Ratio-1)*100)
+		}
+		switch {
+		case r.AllocBreached:
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: 0 -> %g allocs/op (zero tolerance)\n",
+				r.Name, r.AllocCurrent)
+		case r.AllocUnknown:
+			fmt.Fprintf(os.Stderr, "benchjson: %s: zero-alloc baseline but no allocs/op in current run — run with -benchmem\n",
+				r.Name)
 		}
 	}
 	if failed {

@@ -70,6 +70,50 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// fp returns a *float64 for building baseline/current fixtures.
+func fp(v float64) *float64 { return &v }
+
+func TestCompareAllocGate(t *testing.T) {
+	base := map[string]result{
+		"ZeroKept":    {NsPerOp: 100, AllocsOp: fp(0)},
+		"ZeroDrifted": {NsPerOp: 100, AllocsOp: fp(0)},
+		"ZeroUnknown": {NsPerOp: 100, AllocsOp: fp(0)},
+		"NonzeroGrew": {NsPerOp: 100, AllocsOp: fp(5)},
+		"NoAllocData": {NsPerOp: 100},
+	}
+	current := map[string]result{
+		"ZeroKept":    {NsPerOp: 100, AllocsOp: fp(0)},
+		"ZeroDrifted": {NsPerOp: 100, AllocsOp: fp(1)},
+		"ZeroUnknown": {NsPerOp: 100}, // no -benchmem in the current run
+		"NonzeroGrew": {NsPerOp: 100, AllocsOp: fp(50)},
+		"NoAllocData": {NsPerOp: 100, AllocsOp: fp(3)},
+	}
+	verdicts := map[string]regression{}
+	for _, r := range compare(current, base, 0.15) {
+		verdicts[r.Name] = r
+	}
+	if v := verdicts["ZeroKept"]; v.AllocBreached || v.AllocUnknown || v.Breached {
+		t.Fatalf("zero-alloc baseline held at zero must pass: %+v", v)
+	}
+	if v := verdicts["ZeroDrifted"]; !v.AllocBreached || v.AllocCurrent != 1 {
+		t.Fatalf("0 -> 1 allocs/op must breach with zero tolerance: %+v", v)
+	}
+	if v := verdicts["ZeroDrifted"]; v.Breached {
+		t.Fatalf("alloc breach must not masquerade as an ns/op breach: %+v", v)
+	}
+	if v := verdicts["ZeroUnknown"]; !v.AllocUnknown || v.AllocBreached {
+		t.Fatalf("missing current alloc data must warn, not fail: %+v", v)
+	}
+	// Nonzero baselines are pinned by dedicated tests where they matter;
+	// the gate only enforces the exact zero-alloc guarantee.
+	if v := verdicts["NonzeroGrew"]; v.AllocBreached || v.AllocUnknown {
+		t.Fatalf("nonzero baseline must not be alloc-gated: %+v", v)
+	}
+	if v := verdicts["NoAllocData"]; v.AllocBreached || v.AllocUnknown {
+		t.Fatalf("baseline without alloc data must not be alloc-gated: %+v", v)
+	}
+}
+
 func TestRenderRoundTrips(t *testing.T) {
 	out, order, err := parse(strings.NewReader(sampleOutput))
 	if err != nil {

@@ -2,7 +2,10 @@
 // it: a closed-loop mode (K workers, each submit -> wait -> repeat) for peak
 // sustainable throughput, and an open-loop mode (fixed arrival rate) for
 // latency under a controlled offered load. Requests go through POST /v1/jobs
-// or, with -batch > 1, through POST /v1/jobs:batch.
+// or, with -batch > 1, through POST /v1/jobs:batch. Closed-loop workers
+// honor the server's Retry-After hint (with jitter) when shed with a 429,
+// and the time spent backing off is counted separately from request latency
+// in both the per-request records and the end-of-run summary.
 //
 // With no -target it starts an in-process daemon (policy, radix, and clock
 // selectable) on a loopback listener and aims at that, so CI can smoke the
@@ -33,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,13 +103,16 @@ type config struct {
 	failOnError   bool
 }
 
-// record is one request's JSON line in the -records file.
+// record is one request's JSON line in the -records file. BackoffMS is the
+// closed-loop back-off a 429 triggered, kept separate from LatencyMS so
+// shed-heavy runs don't distort the latency percentiles.
 type record struct {
 	T         float64 `json:"t"` // seconds since run start, at request send
 	Worker    int     `json:"worker"`
 	Status    int     `json:"status"` // 0 on transport error
 	Jobs      int     `json:"jobs"`   // jobs accepted by this request
 	LatencyMS float64 `json:"latency_ms"`
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
 	Err       string  `json:"err,omitempty"`
 }
 
@@ -117,14 +124,16 @@ type collector struct {
 	enc *json.Encoder // nil when -records is unset
 	lat []float64     // seconds, accepted requests only
 
-	requests atomic.Int64
+	requests atomic.Int64 // total requests sent
 	accepted atomic.Int64 // requests answered 202
 	shed     atomic.Int64 // requests answered 429
 	errors   atomic.Int64 // transport errors and unexpected statuses
 	jobs     atomic.Int64 // jobs accepted across all requests
+	backoff  atomic.Int64 // closed-loop 429 back-off, nanoseconds
+	backoffs atomic.Int64 // back-off sleeps taken
 }
 
-func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, err error) {
+func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, backoff time.Duration, err error) {
 	c.requests.Add(1)
 	switch {
 	case err != nil:
@@ -140,6 +149,10 @@ func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, 
 	default:
 		c.errors.Add(1)
 	}
+	if backoff > 0 {
+		c.backoff.Add(int64(backoff))
+		c.backoffs.Add(1)
+	}
 	if c.enc != nil {
 		r := record{
 			T:         sentAt.Sub(c.start).Seconds(),
@@ -147,6 +160,7 @@ func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, 
 			Status:    status,
 			Jobs:      jobs,
 			LatencyMS: d.Seconds() * 1e3,
+			BackoffMS: backoff.Seconds() * 1e3,
 		}
 		if err != nil {
 			r.Err = err.Error()
@@ -265,31 +279,56 @@ func requestBody(cfg config, rng *rand.Rand) (path string, body []byte) {
 	return "/v1/jobs:batch", b
 }
 
-// doRequest sends one submit and reports how many jobs it got accepted.
-func doRequest(cfg config, client *http.Client, base, path string, body []byte) (status, jobs int, err error) {
+// doRequest sends one submit and reports how many jobs it got accepted. On
+// 429 it also reports the server's Retry-After hint; retryAfter is -1 when
+// the server sent none (or an unparseable one).
+func doRequest(cfg config, client *http.Client, base, path string, body []byte) (status, jobs int, retryAfter time.Duration, err error) {
 	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, -1, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return resp.StatusCode, 0, nil
+		retryAfter = -1
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return resp.StatusCode, 0, retryAfter, nil
 	}
 	if cfg.batch == 1 {
-		return resp.StatusCode, 1, nil
+		return resp.StatusCode, 1, -1, nil
 	}
 	var br struct {
 		Accepted int `json:"accepted"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return resp.StatusCode, 0, err
+		return resp.StatusCode, 0, -1, err
 	}
-	return resp.StatusCode, br.Accepted, nil
+	return resp.StatusCode, br.Accepted, -1, nil
+}
+
+// backoffFor turns a 429's Retry-After hint into a sleep: the hint itself
+// (1s when the server sent none), plus uniform jitter of up to 100ms + a
+// quarter of the hint so a fleet of shed workers doesn't re-dogpile the
+// queue on the same tick. A 0 hint ("retry immediately, the queue turns
+// over in under a second") still jitters, spreading the retries out.
+func backoffFor(retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	if retryAfter < 0 {
+		retryAfter = time.Second
+	}
+	jitter := time.Duration(rng.Float64() * float64(100*time.Millisecond+retryAfter/4))
+	return retryAfter + jitter
 }
 
 // runClosed is the closed loop: each worker keeps exactly one request in
 // flight, so total concurrency is fixed and the achieved rate is the
-// system's sustainable throughput at that concurrency.
+// system's sustainable throughput at that concurrency. A worker whose
+// request is shed honors the server's Retry-After (with jitter; see
+// backoffFor) before retrying, instead of hammering a queue that just
+// reported itself full; the back-off time is recorded separately from
+// request latency.
 func runClosed(ctx context.Context, cfg config, client *http.Client, base string, col *collector) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
@@ -300,8 +339,19 @@ func runClosed(ctx context.Context, cfg config, client *http.Client, base string
 			for ctx.Err() == nil {
 				path, body := requestBody(cfg, rng)
 				t0 := time.Now()
-				status, jobs, err := doRequest(cfg, client, base, path, body)
-				col.note(w, t0, time.Since(t0), status, jobs, err)
+				status, jobs, retryAfter, err := doRequest(cfg, client, base, path, body)
+				var backoff time.Duration
+				if err == nil && status == http.StatusTooManyRequests {
+					backoff = backoffFor(retryAfter, rng)
+				}
+				col.note(w, t0, time.Since(t0), status, jobs, backoff, err)
+				if backoff > 0 {
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(backoff):
+					}
+				}
 			}
 		}(w)
 	}
@@ -345,8 +395,10 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 			defer wg.Done()
 			defer func() { <-inflight }()
 			t0 := time.Now()
-			status, jobs, err := doRequest(cfg, client, base, path, body)
-			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, err)
+			// The open loop's arrival rate is fixed by design, so 429s are
+			// recorded but not backed off (the offered load is the point).
+			status, jobs, _, err := doRequest(cfg, client, base, path, body)
+			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, 0, err)
 		}(i)
 	}
 	wg.Wait()
@@ -382,6 +434,8 @@ func report(cfg config, col *collector, elapsed float64) error {
 			"latency_p90_ms": p90 * 1e3,
 			"latency_p99_ms": p99 * 1e3,
 			"latency_max_ms": max * 1e3,
+			"backoff_s":      time.Duration(col.backoff.Load()).Seconds(),
+			"backoffs":       col.backoffs.Load(),
 		})
 	} else {
 		fmt.Printf("loadgen: mode=%s workers=%d batch=%d elapsed=%.2fs\n",
@@ -391,6 +445,8 @@ func report(cfg config, col *collector, elapsed float64) error {
 		fmt.Printf("jobs:     %d accepted -> %.1f jobs/s\n", col.jobs.Load(), throughput)
 		fmt.Printf("latency:  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 			p50*1e3, p90*1e3, p99*1e3, max*1e3)
+		fmt.Printf("backoff:  %.3fs total across %d 429 sleeps\n",
+			time.Duration(col.backoff.Load()).Seconds(), col.backoffs.Load())
 	}
 
 	if cfg.failOnError && col.errors.Load() > 0 {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDoRequestRetryAfter pins the 429 header contract: an integral
+// Retry-After comes back as a duration, and a missing or malformed one comes
+// back as -1 so the caller falls back to its default.
+func TestDoRequestRetryAfter(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		header string
+		want   time.Duration
+	}{
+		{"hint-2s", http.StatusTooManyRequests, "2", 2 * time.Second},
+		{"hint-0s", http.StatusTooManyRequests, "0", 0},
+		{"no-hint", http.StatusTooManyRequests, "", -1},
+		{"http-date-hint", http.StatusTooManyRequests, "Fri, 08 Aug 2026 00:00:00 GMT", -1},
+		{"accepted", http.StatusAccepted, "2", -1},
+	}
+	cfg := config{batch: 1}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if c.header != "" {
+					w.Header().Set("Retry-After", c.header)
+				}
+				w.WriteHeader(c.status)
+			}))
+			defer srv.Close()
+			status, _, ra, err := doRequest(cfg, srv.Client(), srv.URL, "/v1/jobs", []byte(`{}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != c.status {
+				t.Fatalf("status = %d, want %d", status, c.status)
+			}
+			if ra != c.want {
+				t.Fatalf("retryAfter = %v, want %v", ra, c.want)
+			}
+		})
+	}
+}
+
+// TestBackoffFor pins the sleep bounds: at least the hint (1s when absent),
+// at most the hint plus 100ms + hint/4 of jitter.
+func TestBackoffFor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		for _, c := range []struct {
+			hint     time.Duration
+			min, max time.Duration
+		}{
+			{-1, time.Second, time.Second + 100*time.Millisecond + time.Second/4},
+			{0, 0, 100 * time.Millisecond},
+			{2 * time.Second, 2 * time.Second, 2*time.Second + 100*time.Millisecond + 500*time.Millisecond},
+		} {
+			got := backoffFor(c.hint, rng)
+			if got < c.min || got > c.max {
+				t.Fatalf("backoffFor(%v) = %v, want in [%v, %v]", c.hint, got, c.min, c.max)
+			}
+		}
+	}
+}

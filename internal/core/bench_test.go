@@ -60,5 +60,24 @@ func BenchmarkSearch(b *testing.B) {
 				}
 			})
 		}
+
+		// miss-cold defeats the scratch's epoch cache: a one-node churn
+		// placement bumps the state version every iteration, so each search
+		// pays the full summary rebuild — the first-probe miss cost the
+		// steady-state miss case no longer shows.
+		b.Run(fmt.Sprintf("radix=%d/miss-cold", radix), func(b *testing.B) {
+			sc := &core.Scratch{}
+			churn := topology.NewPlacement(2, 1)
+			churn.AddLeafNodes(0, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				churn.Apply(frag)
+				churn.Release(frag)
+				_, ok := core.Search(frag, 1, podNodes, false, core.DefaultSearchBudget, sc)
+				if ok {
+					b.Fatalf("size %d: expected miss", podNodes)
+				}
+			}
+		})
 	}
 }

@@ -61,21 +61,21 @@ func TestFindTwoLevelEdgeCases(t *testing.T) {
 	st := topology.NewState(tree, 1)
 
 	// Degenerate parameters are rejected.
-	if _, ok := core.FindTwoLevel(st, 1, 0, 0, 2, 0, nil); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 0, 2, 0, nil, nil); ok {
 		t.Fatal("LT=0 must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 0, 0, nil); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 0, 0, nil, nil); ok {
 		t.Fatal("nL=0 must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 2, 2, nil); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 1, 2, 2, nil, nil); ok {
 		t.Fatal("nrL >= nL must fail")
 	}
-	if _, ok := core.FindTwoLevel(st, 1, 0, 5, 1, 0, nil); ok {
+	if _, ok := core.FindTwoLevel(st, 1, 0, 5, 1, 0, nil, nil); ok {
 		t.Fatal("more leaves than the pod has must fail")
 	}
 
 	// Largest single-pod allocation: all leaves, all nodes.
-	p, ok := core.FindTwoLevel(st, 1, 2, tree.LeavesPerPod, tree.NodesPerLeaf, 0, nil)
+	p, ok := core.FindTwoLevel(st, 1, 2, tree.LeavesPerPod, tree.NodesPerLeaf, 0, nil, nil)
 	if !ok {
 		t.Fatal("full pod must fit")
 	}

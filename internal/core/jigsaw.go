@@ -6,9 +6,10 @@ import (
 	"repro/internal/topology"
 )
 
-// DefaultSearchBudget bounds the number of backtracking extensions a single
-// three-level search may explore. The Jigsaw whole-leaf restriction keeps
-// real searches far below this; the budget is a guard, not a tuning knob.
+// DefaultSearchBudget bounds the number of backtracking extensions a whole
+// Search may explore, across both passes and every factorization. The
+// Jigsaw whole-leaf restriction keeps real searches far below this; the
+// budget is a guard, not a tuning knob.
 const DefaultSearchBudget = 1 << 20
 
 // Allocator implements the Jigsaw scheduling approach (alloc.Allocator).
@@ -82,13 +83,25 @@ func (a *Allocator) FindPartition(size int) (*partition.Partition, bool) {
 // (Section 5.2.3 notes the link-sharing relaxation composes with Jigsaw)
 // passes fractional demands against shared-capacity links.
 //
+// budget is a whole-search step budget: every backtracking extension in
+// either pass, across all factorizations, draws from the same pool, so a
+// budget-B search performs at most B extensions before giving up.
+//
 // The returned partition aliases sc (valid until sc's next search); pass a
 // nil sc for a single-use scratch.
 func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget int, sc *Scratch) (*partition.Partition, bool) {
+	p, ok, _ := search(st, demand, size, sparseFirst, budget, sc)
+	return p, ok
+}
+
+// search is Search plus the number of budget steps the search consumed,
+// which the budget-contract tests observe.
+func search(st *topology.State, demand int32, size int, sparseFirst bool, budget int, sc *Scratch) (*partition.Partition, bool, int) {
 	t := st.Tree
 	if size < 1 || size > st.FreeNodes() {
-		return nil, false
+		return nil, false, 0
 	}
+	steps := budget
 
 	// Two-level pass: size = LT*nL + nrL, nrL < nL.
 	maxNL := t.NodesPerLeaf
@@ -110,8 +123,11 @@ func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget
 			continue
 		}
 		for pod := 0; pod < t.Pods; pod++ {
-			if p, ok := FindTwoLevel(st, demand, pod, lt, nL, nrL, sc); ok {
-				return p, true
+			if steps <= 0 {
+				return nil, false, budget
+			}
+			if p, ok := FindTwoLevel(st, demand, pod, lt, nL, nrL, &steps, sc); ok {
+				return p, true, budget - steps
 			}
 		}
 	}
@@ -136,12 +152,14 @@ func Search(st *topology.State, demand int32, size int, sparseFirst bool, budget
 		if need > t.Pods {
 			continue
 		}
-		steps := budget
+		if steps <= 0 {
+			return nil, false, budget
+		}
 		if p, ok := FindThreeLevel(st, demand, T, lt, nrT/nL, nrT%nL, &steps, sc); ok {
-			return p, true
+			return p, true, budget - steps
 		}
 	}
-	return nil, false
+	return nil, false, budget - steps
 }
 
 // Allocate implements alloc.Allocator: it finds a partition, converts it to

@@ -7,21 +7,24 @@ import (
 	"repro/internal/topology"
 )
 
-// leafInfo is the per-leaf view the two-level search works from: the leaf's
-// free-uplink mask at the search demand and its free-node count.
-type leafInfo struct {
-	up   uint64
-	free int
-}
-
 // Scratch holds every buffer the search kernels need, so a steady-state
-// search allocates nothing: the per-call info/freeLeaves/spine slices and
+// search allocates nothing: the per-call summary/freeLeaves/spine slices and
 // lowestBits results that used to be made fresh on every candidate of every
 // scheduling cycle live here instead, sized once per tree geometry.
 //
 // The recursive kernels are methods on Scratch rather than closures so that
 // recursion carries no heap-allocated environment, and a successful search
 // builds its partition directly into the result buffers below.
+//
+// Beyond buffers, a Scratch caches per-pod machine summaries — leaf free
+// counts, demand-filtered uplink masks, width histograms, whole-leaf lists,
+// and spine masks — keyed by (state, state version, demand); see
+// summaries.go. Within one Search call the state cannot change, so every
+// factorization reads the summaries the first one computed; across calls the
+// state's monotone version counter invalidates them exactly when a mutation
+// happened. The summaries feed the admissibility bounds of DESIGN.md §15,
+// which let the search reject provably-infeasible pods and factorizations
+// without entering the backtracking recursion.
 //
 // Aliasing contract: the *partition.Partition a search returns points into
 // the Scratch it ran on and is valid only until the next search on that
@@ -37,30 +40,62 @@ type Scratch struct {
 	tree *topology.FatTree
 
 	// In-flight search parameters, set by FindTwoLevel/FindThreeLevel.
-	st     *topology.State
-	demand int32
 	pod    int // two-level: the pod under search
 	lt     int // full leaves per tree (LT)
 	nl     int // nodes per full leaf (three-level: tree.NodesPerLeaf)
 	nrl    int // remainder-leaf node count
 	nTrees int // three-level: full trees T
 	lrt    int // three-level: full leaves in the remainder tree
-	steps  int // three-level: remaining backtracking budget
+	steps  int // remaining backtracking budget
 
-	// Two-level buffers.
-	info    []leafInfo
+	// noBounds disables every admissibility bound and branch-and-bound
+	// cutoff, turning the search back into the exhaustive pre-pruning
+	// algorithm. Test-only: the pruned-vs-unpruned differential
+	// (FuzzSearchPruned, TestSearchPrunedMatchesUnpruned) pins that pruning
+	// only ever skips provably-infeasible subtrees.
+	noBounds bool
+
+	// Per-epoch machine summaries (see summaries.go). sumSt/sumVer/sumDemand
+	// identify the (state, version, demand) the summaries describe; epoch
+	// advances when they go stale, and podStamp marks which pods have been
+	// summarized in the current epoch — pods are summarized lazily, so a
+	// first-factorization two-level hit never pays for the whole machine.
+	sumSt     *topology.State
+	sumVer    uint64
+	sumDemand int32
+	epoch     uint32
+	podStamp  []uint32
+
+	lfFree      []int32  // per-leaf free-node count; global leaf index
+	lfUp        []uint64 // per-leaf demand-filtered uplink mask
+	lfCap       []int32  // per-leaf width min(free, popcount(up))
+	capHist     []int32  // per-pod: #leaves of width >= n; stride NodesPerLeaf+2
+	freeLeaves  []int    // per-pod whole-leaf lists, stride LeavesPerPod
+	nFree       []int    // valid freeLeaves entries per pod
+	spine       []uint64 // per-(pod, L2) free-spine masks, stride L2PerPod
+	minSpinePop []int32  // per-pod min over L2 of popcount(spine)
+
+	// Cross-pod aggregates for the three-level factorization bounds, built
+	// once per epoch after every pod is summarized (see ensureAggregates).
+	aggStamp    uint32
+	nFreeHist   []int32 // #pods with nFree >= n; len LeavesPerPod+2
+	spinePopCnt []int32 // per-L2: #pods with popcount(spine) >= c; stride SpinesPerGroup+2
+
+	// Two-level per-call state. elig masks the leaves of the current pod
+	// wide enough for the current nL (leaf indices within a pod fit uint64
+	// at every supported radix).
+	elig    uint64
 	chosenL []int
 	inUseL  []bool
 
-	// Three-level buffers. freeLeaves and spine are flat with strides
-	// LeavesPerPod and L2PerPod respectively; nFree counts the valid
-	// freeLeaves entries per pod.
-	freeLeaves []int
-	nFree      []int
-	spine      []uint64
-	f          []uint64 // running per-L2 spine intersection
-	chosenP    []int
-	inUseP     []bool
+	// Three-level per-call state. podOK marks pods eligible for the current
+	// (T, LT) shape; podEligTail[p] counts eligible pods with index >= p,
+	// the suffix cutoff (pod counts can exceed 64, so no bitmask here).
+	podOK       []bool
+	podEligTail []int32
+	f           []uint64 // running per-L2 spine intersection
+	chosenP     []int
+	inUseP      []bool
 
 	// Result buffers: the partition a successful search returns points into
 	// these (see the aliasing contract above). spineInts is the arena the
@@ -81,12 +116,23 @@ func (sc *Scratch) ensure(t *topology.FatTree) {
 		return
 	}
 	sc.tree = t
-	sc.info = make([]leafInfo, t.LeavesPerPod)
-	sc.chosenL = make([]int, 0, t.LeavesPerPod)
-	sc.inUseL = make([]bool, t.LeavesPerPod)
-	sc.freeLeaves = make([]int, t.Pods*t.LeavesPerPod)
+	sc.sumSt, sc.epoch, sc.aggStamp = nil, 0, 0
+	leaves := t.Leaves()
+	sc.podStamp = make([]uint32, t.Pods)
+	sc.lfFree = make([]int32, leaves)
+	sc.lfUp = make([]uint64, leaves)
+	sc.lfCap = make([]int32, leaves)
+	sc.capHist = make([]int32, t.Pods*(t.NodesPerLeaf+2))
+	sc.freeLeaves = make([]int, leaves)
 	sc.nFree = make([]int, t.Pods)
 	sc.spine = make([]uint64, t.Pods*t.L2PerPod)
+	sc.minSpinePop = make([]int32, t.Pods)
+	sc.nFreeHist = make([]int32, t.LeavesPerPod+2)
+	sc.spinePopCnt = make([]int32, t.L2PerPod*(t.SpinesPerGroup+2))
+	sc.chosenL = make([]int, 0, t.LeavesPerPod)
+	sc.inUseL = make([]bool, t.LeavesPerPod)
+	sc.podOK = make([]bool, t.Pods)
+	sc.podEligTail = make([]int32, t.Pods+1)
 	sc.f = make([]uint64, t.L2PerPod)
 	sc.chosenP = make([]int, 0, t.Pods)
 	sc.inUseP = make([]bool, t.Pods)

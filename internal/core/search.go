@@ -10,14 +10,28 @@
 // whole-leaf granularity. Both run on a caller-supplied Scratch (nil for a
 // throwaway one) and return partitions aliasing it; see the Scratch
 // aliasing contract.
+//
+// Both primitives prune with the subtree-infeasibility bounds of DESIGN.md
+// §15: per-pod and cross-pod summaries cached on the Scratch (summaries.go)
+// reject pods and whole factorizations that provably cannot host the
+// requested shape before any backtracking happens, and suffix-count cutoffs
+// truncate the recursions early. Every bound is a necessary condition for a
+// solution to exist, so pruning never changes which partition a search finds
+// — only how fast a miss is proven (FuzzSearchPruned pins this).
 package core
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/partition"
 	"repro/internal/topology"
 )
+
+// noBudget is the step budget used when the caller passes a nil budget
+// pointer: large enough to never exhaust, so the search is effectively
+// unbudgeted.
+const noBudget = math.MaxInt
 
 // FindTwoLevel searches one pod for a two-level allocation of LT leaves with
 // nL nodes each plus an optional remainder leaf with nrL < nL nodes, such
@@ -27,9 +41,14 @@ import (
 // residual capacity of at least demand. It returns the first partition
 // found, scanning leaves in index order with exhaustive backtracking.
 //
+// steps, when non-nil, is the remaining whole-search step budget: each
+// backtracking extension consumes one step, the remainder is written back,
+// and the search gives up (without concluding infeasibility) when the budget
+// hits zero. A nil steps runs unbudgeted.
+//
 // The returned partition aliases sc (valid until sc's next search); pass a
 // nil sc for a single-use scratch.
-func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int, sc *Scratch) (*partition.Partition, bool) {
+func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int, steps *int, sc *Scratch) (*partition.Partition, bool) {
 	t := st.Tree
 	needLeaves := LT
 	if nrL > 0 {
@@ -47,33 +66,78 @@ func FindTwoLevel(st *topology.State, demand int32, pod, LT, nL, nrL int, sc *Sc
 		sc = &Scratch{}
 	}
 	sc.ensure(t)
-	sc.st, sc.demand = st, demand
-	sc.pod, sc.lt, sc.nl, sc.nrl = pod, LT, nL, nrL
-	for l := 0; l < t.LeavesPerPod; l++ {
-		leafIdx := t.LeafIndex(pod, l)
-		sc.info[l] = leafInfo{up: st.LeafUpMask(leafIdx, demand), free: st.FreeInLeaf(leafIdx)}
+	sc.syncEpoch(st, demand)
+	sc.ensurePod(pod)
+	base := pod * t.LeavesPerPod
+	var elig uint64
+	if sc.noBounds {
+		for l := 0; l < t.LeavesPerPod; l++ {
+			if sc.lfFree[base+l] >= int32(nL) {
+				elig |= 1 << l
+			}
+		}
+	} else {
+		// Admissibility bounds (DESIGN.md §15): the pod must hold LT leaves
+		// of width >= nL, plus one more of width >= nrL for the remainder.
+		hist := sc.capHist[pod*(t.NodesPerLeaf+2):]
+		if hist[nL] < int32(LT) {
+			return nil, false
+		}
+		if nrL > 0 && hist[nrL] < int32(LT+1) {
+			return nil, false
+		}
+		// A leaf of width < nL can never join the full set: it would fail
+		// the intersection-popcount check against any running mask.
+		for l := 0; l < t.LeavesPerPod; l++ {
+			if sc.lfCap[base+l] >= int32(nL) {
+				elig |= 1 << l
+			}
+		}
 	}
+	sc.pod, sc.lt, sc.nl, sc.nrl = pod, LT, nL, nrL
+	sc.elig = elig
 	sc.chosenL = sc.chosenL[:0]
 	clear(sc.inUseL)
-	return sc.twoRec(0, t.HalfMask())
+	sc.steps = noBudget
+	if steps != nil {
+		sc.steps = *steps
+	}
+	p, ok := sc.twoRec(0, t.HalfMask())
+	if steps != nil {
+		*steps = sc.steps
+	}
+	return p, ok
 }
 
-// twoRec extends the chosen-leaf set with leaves from start onward, keeping
-// the running uplink intersection m.
+// twoRec extends the chosen-leaf set with eligible leaves from start onward,
+// keeping the running uplink intersection m.
 func (sc *Scratch) twoRec(start int, m uint64) (*partition.Partition, bool) {
 	t := sc.tree
 	if len(sc.chosenL) == sc.lt {
 		return sc.twoFinish(m)
 	}
-	// Prune: not enough leaves left to reach LT.
-	for l := start; l <= t.LeavesPerPod-(sc.lt-len(sc.chosenL)); l++ {
-		if sc.info[l].free < sc.nl {
-			continue
+	need := sc.lt - len(sc.chosenL)
+	base := sc.pod * t.LeavesPerPod
+	// Eligible leaves at index >= start (a shift of 64 or more yields 0, so
+	// start == 64 correctly leaves nothing).
+	avail := sc.elig &^ (uint64(1)<<uint(start) - 1)
+	for avail != 0 {
+		l := bits.TrailingZeros64(avail)
+		if l > t.LeavesPerPod-need {
+			break // not enough leaves left to reach LT
 		}
-		nm := m & sc.info[l].up
+		if !sc.noBounds && bits.OnesCount64(avail) < need {
+			break // cutoff: fewer eligible leaves remain than the set needs
+		}
+		avail &= avail - 1
+		nm := m & sc.lfUp[base+l]
 		if bits.OnesCount64(nm) < sc.nl {
 			continue
 		}
+		if sc.steps <= 0 {
+			return nil, false
+		}
+		sc.steps--
 		sc.chosenL = append(sc.chosenL, l)
 		sc.inUseL[l] = true
 		if p, ok := sc.twoRec(l+1, nm); ok {
@@ -89,14 +153,15 @@ func (sc *Scratch) twoRec(start int, m uint64) (*partition.Partition, bool) {
 // are chosen with common uplink mask m.
 func (sc *Scratch) twoFinish(m uint64) (*partition.Partition, bool) {
 	t := sc.tree
+	base := sc.pod * t.LeavesPerPod
 	remLeaf := -1
 	if sc.nrl > 0 {
 		var srMask uint64
 		for l := 0; l < t.LeavesPerPod; l++ {
-			if sc.inUseL[l] || sc.info[l].free < sc.nrl {
+			if sc.inUseL[l] || sc.lfFree[base+l] < int32(sc.nrl) {
 				continue
 			}
-			common := m & sc.info[l].up
+			common := m & sc.lfUp[base+l]
 			if bits.OnesCount64(common) < sc.nrl {
 				continue
 			}
@@ -143,8 +208,9 @@ func (sc *Scratch) twoFinish(m uint64) (*partition.Partition, bool) {
 // in every chosen full tree, with the remainder tree drawing its smaller
 // subsets from S*_i. Links must have residual of at least demand.
 //
-// steps bounds the number of backtracking extensions explored (a guard
-// against pathological states; Jigsaw's restriction keeps real searches tiny).
+// steps is the remaining whole-search step budget: each backtracking
+// extension consumes one step, the remainder is written back, and the search
+// gives up (without concluding infeasibility) when the budget hits zero.
 //
 // The returned partition aliases sc (valid until sc's next search); pass a
 // nil sc for a single-use scratch.
@@ -166,29 +232,55 @@ func FindThreeLevel(st *topology.State, demand int32, T, LT, LrT, nrL int, steps
 		sc = &Scratch{}
 	}
 	sc.ensure(t)
-	sc.st, sc.demand = st, demand
+	sc.syncEpoch(st, demand)
+	for p := 0; p < t.Pods; p++ {
+		sc.ensurePod(p)
+	}
 	sc.nTrees, sc.lt, sc.nl, sc.lrt, sc.nrl = T, LT, nL, LrT, nrL
 
-	// Per-pod candidate information, read from the state's availability
-	// indices: WholeLeafAvailable and SpineMask are O(1) for isolating
-	// demands, and pods without a single whole-free leaf (per-pod free-node
-	// counter below one leaf's worth) skip the leaf scan entirely.
-	for p := 0; p < t.Pods; p++ {
-		n := 0
-		if st.FreeInPod(p) >= nL {
-			base := p * t.LeavesPerPod
-			for l := 0; l < t.LeavesPerPod; l++ {
-				if st.WholeLeafAvailable(t.LeafIndex(p, l), demand) {
-					sc.freeLeaves[base+n] = l
-					n++
-				}
+	if !sc.noBounds {
+		sc.ensureAggregates()
+		// Factorization bounds (DESIGN.md §15): T pods with LT whole-free
+		// leaves (one more with LrT for the remainder tree), and at every L2
+		// index enough pods whose spine group still has LT (resp. LrT) free
+		// spines — all necessary conditions read off the epoch histograms.
+		if sc.nFreeHist[LT] < int32(T) {
+			return nil, false
+		}
+		if LrT > 0 && sc.nFreeHist[LrT] < int32(T+1) {
+			return nil, false
+		}
+		spg := t.SpinesPerGroup + 2
+		for i := 0; i < t.L2PerPod; i++ {
+			if sc.spinePopCnt[i*spg+LT] < int32(T) {
+				return nil, false
+			}
+			if LrT > 0 && sc.spinePopCnt[i*spg+LrT] < int32(T+1) {
+				return nil, false
 			}
 		}
-		sc.nFree[p] = n
-		sbase := p * t.L2PerPod
-		for i := 0; i < t.L2PerPod; i++ {
-			sc.spine[sbase+i] = st.SpineMask(p, i, demand)
+	}
+
+	// Pod eligibility for the full-tree recursion, with suffix counts for
+	// the branch-and-bound cutoff. A pod whose minimum spine popcount is
+	// below LT would fail the intersection check on every L2 pass, so the
+	// pruned search rejects it here, once, for all factorizations of this
+	// epoch that reach it.
+	sc.podEligTail[t.Pods] = 0
+	for p := t.Pods - 1; p >= 0; p-- {
+		ok := sc.nFree[p] >= LT
+		if !sc.noBounds && sc.minSpinePop[p] < int32(LT) {
+			ok = false
 		}
+		sc.podOK[p] = ok
+		cnt := sc.podEligTail[p+1]
+		if ok {
+			cnt++
+		}
+		sc.podEligTail[p] = cnt
+	}
+	if !sc.noBounds && sc.podEligTail[0] < int32(T) {
+		return nil, false
 	}
 
 	sc.chosenP = sc.chosenP[:0]
@@ -211,8 +303,12 @@ func (sc *Scratch) threeRec(start int) (*partition.Partition, bool) {
 	if len(sc.chosenP) == sc.nTrees {
 		return sc.tryRemainder()
 	}
-	for p := start; p <= t.Pods-(sc.nTrees-len(sc.chosenP)); p++ {
-		if sc.nFree[p] < sc.lt {
+	need := sc.nTrees - len(sc.chosenP)
+	for p := start; p <= t.Pods-need; p++ {
+		if !sc.noBounds && sc.podEligTail[p] < int32(need) {
+			break // cutoff: fewer eligible pods remain than the set needs
+		}
+		if !sc.podOK[p] {
 			continue
 		}
 		if sc.steps <= 0 {
@@ -250,7 +346,6 @@ func (sc *Scratch) threeRec(start int) (*partition.Partition, bool) {
 // pods and intersection masks sc.f.
 func (sc *Scratch) tryRemainder() (*partition.Partition, bool) {
 	t := sc.tree
-	st := sc.st
 	hasRem := sc.lrt > 0 || sc.nrl > 0
 	remPod, remLeaf := -1, -1
 	sc.sr = sc.sr[:0]
@@ -258,6 +353,12 @@ func (sc *Scratch) tryRemainder() (*partition.Partition, bool) {
 	pods:
 		for p := 0; p < t.Pods; p++ {
 			if sc.inUseP[p] || sc.nFree[p] < sc.lrt {
+				continue
+			}
+			// Prune: a remainder pod whose own spine groups cannot supply
+			// LrT spines at some L2 index fails the loop below regardless
+			// of the intersection.
+			if !sc.noBounds && sc.minSpinePop[p] < int32(sc.lrt) {
 				continue
 			}
 			sbase := p * t.L2PerPod
@@ -286,11 +387,10 @@ func (sc *Scratch) tryRemainder() (*partition.Partition, bool) {
 				if taken&(1<<l) != 0 {
 					continue
 				}
-				leafIdx := t.LeafIndex(p, l)
-				if st.FreeInLeaf(leafIdx) < sc.nrl {
+				if sc.lfFree[base+l] < int32(sc.nrl) {
 					continue
 				}
-				up := st.LeafUpMask(leafIdx, sc.demand)
+				up := sc.lfUp[base+l]
 				sc.sr = sc.sr[:0]
 				for i := 0; i < t.L2PerPod && len(sc.sr) < sc.nrl; i++ {
 					if up&(1<<i) != 0 && bits.OnesCount64(sc.f[i]&sc.spine[sbase+i]) >= sc.lrt+1 {

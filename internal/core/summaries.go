@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/topology"
+)
+
+// This file maintains the Scratch's per-epoch machine summaries: the per-pod
+// and per-leaf availability views the search kernels read instead of
+// re-querying the state for every (nL, pod) factorization, plus the
+// histograms behind the admissibility bounds of DESIGN.md §15.
+//
+// An epoch is one (state, state version, demand) triple. The state's version
+// counter is bumped by every mutator — including rollbacks, which replay
+// through mutators and land on fresh values — so "same pointer, same
+// version" certifies that every availability index reads exactly as it did
+// when the summaries were computed. Pods are summarized lazily (podStamp)
+// because the common two-level hit touches one pod; the three-level pass
+// summarizes all pods and then folds them into cross-pod aggregates
+// (aggStamp) once per epoch.
+
+// syncEpoch starts a new epoch if the cached summaries do not describe
+// (st, st.Version(), demand); otherwise it keeps the current one.
+func (sc *Scratch) syncEpoch(st *topology.State, demand int32) {
+	if sc.sumSt == st && sc.sumVer == st.Version() && sc.sumDemand == demand {
+		return
+	}
+	sc.sumSt, sc.sumVer, sc.sumDemand = st, st.Version(), demand
+	sc.epoch++
+	if sc.epoch == 0 {
+		// The 32-bit epoch wrapped: stale stamps from 4 billion epochs ago
+		// would read as current, so reset them all.
+		clear(sc.podStamp)
+		sc.aggStamp = 0
+		sc.epoch = 1
+	}
+}
+
+// ensurePod computes pod p's summaries for the current epoch if they are
+// stale: leaf free counts, uplink masks, widths, the pod's width histogram,
+// its whole-leaf list, its spine masks, and its minimum spine popcount.
+// One O(LeavesPerPod + L2PerPod) scan per pod per epoch replaces the same
+// scan per factorization.
+func (sc *Scratch) ensurePod(p int) {
+	if sc.podStamp[p] == sc.epoch {
+		return
+	}
+	sc.podStamp[p] = sc.epoch
+	t, st, demand := sc.tree, sc.sumSt, sc.sumDemand
+	npl := int32(t.NodesPerLeaf)
+	full := t.HalfMask()
+	base := p * t.LeavesPerPod
+	hist := sc.capHist[p*(t.NodesPerLeaf+2) : (p+1)*(t.NodesPerLeaf+2)]
+	clear(hist)
+	n := 0
+	for l := 0; l < t.LeavesPerPod; l++ {
+		free := int32(st.FreeInLeaf(base + l))
+		up := st.LeafUpMask(base+l, demand)
+		sc.lfFree[base+l] = free
+		sc.lfUp[base+l] = up
+		c := int32(bits.OnesCount64(up))
+		if free < c {
+			c = free
+		}
+		sc.lfCap[base+l] = c
+		hist[c]++
+		// Whole-leaf availability: every node free and every uplink carrying
+		// at least the demand (up == full ⟺ state.WholeLeafAvailable).
+		if free == npl && up == full {
+			sc.freeLeaves[base+n] = l
+			n++
+		}
+	}
+	sc.nFree[p] = n
+	// Suffix-sum the width histogram so hist[n] counts leaves of width >= n.
+	for c := t.NodesPerLeaf; c >= 0; c-- {
+		hist[c] += hist[c+1]
+	}
+	sbase := p * t.L2PerPod
+	minPop := int32(t.SpinesPerGroup + 1)
+	for i := 0; i < t.L2PerPod; i++ {
+		m := st.SpineMask(p, i, demand)
+		sc.spine[sbase+i] = m
+		if pc := int32(bits.OnesCount64(m)); pc < minPop {
+			minPop = pc
+		}
+	}
+	sc.minSpinePop[p] = minPop
+}
+
+// ensureAggregates folds the per-pod summaries into the cross-pod histograms
+// the three-level factorization bounds read: nFreeHist[n] counts pods with at
+// least n whole-free leaves, and spinePopCnt[i][c] counts pods whose L2 index
+// i has at least c free spines. Every pod must be summarized first.
+func (sc *Scratch) ensureAggregates() {
+	if sc.aggStamp == sc.epoch {
+		return
+	}
+	sc.aggStamp = sc.epoch
+	t := sc.tree
+	clear(sc.nFreeHist)
+	for p := 0; p < t.Pods; p++ {
+		sc.nFreeHist[sc.nFree[p]]++
+	}
+	for n := t.LeavesPerPod; n >= 0; n-- {
+		sc.nFreeHist[n] += sc.nFreeHist[n+1]
+	}
+	spg := t.SpinesPerGroup + 2
+	clear(sc.spinePopCnt)
+	for p := 0; p < t.Pods; p++ {
+		sbase := p * t.L2PerPod
+		for i := 0; i < t.L2PerPod; i++ {
+			c := bits.OnesCount64(sc.spine[sbase+i])
+			sc.spinePopCnt[i*spg+c]++
+		}
+	}
+	for i := 0; i < t.L2PerPod; i++ {
+		cnt := sc.spinePopCnt[i*spg : (i+1)*spg]
+		for c := t.SpinesPerGroup; c >= 0; c-- {
+			cnt[c] += cnt[c+1]
+		}
+	}
+}

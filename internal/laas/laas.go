@@ -70,6 +70,11 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 		return nil, false
 	}
 
+	// One step budget covers the whole allocation attempt, shared across
+	// both passes and every factorization, mirroring core.Search's
+	// whole-search budget contract.
+	steps := a.budget
+
 	// Single-subtree allocations first, exactly as in Jigsaw's search but
 	// at whole-leaf granularity. A whole-leaf allocation needs `leaves`
 	// untouched leaves in one pod, so pods below that count (tracked by the
@@ -79,7 +84,7 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 			if a.st.FullyFreeLeavesInPod(pod) < leaves {
 				continue
 			}
-			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0, &a.scratch); ok {
+			if p, ok := core.FindTwoLevel(a.st, 1, pod, leaves, t.NodesPerLeaf, 0, &steps, &a.scratch); ok {
 				pl := p.Placement(t, job, 1)
 				pl.Apply(a.st)
 				return pl, true
@@ -106,7 +111,9 @@ func (a *Allocator) Allocate(job topology.JobID, size int) (*topology.Placement,
 		if need > t.Pods {
 			continue
 		}
-		steps := a.budget
+		if steps <= 0 {
+			return nil, false
+		}
 		if p, ok := core.FindThreeLevel(a.st, 1, pods, lt, lrT, 0, &steps, &a.scratch); ok {
 			pl := p.Placement(t, job, 1)
 			pl.Apply(a.st)

@@ -196,7 +196,11 @@ func (a *Allocator) findPartition(job topology.JobID, size int) (*partition.Part
 			if a.st.FreeInPod(pod) < size {
 				continue
 			}
-			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL, &a.sc.core); ok {
+			// nil step budget: LC+S charges its budget per pod probe (the
+			// steps-- above), not per backtracking extension, and changing
+			// that granularity would change which jobs a budget-exhausted
+			// search admits (the golden ledgers pin today's schedules).
+			if p, ok := core.FindTwoLevel(a.st, demand, pod, lt, nL, nrL, nil, &a.sc.core); ok {
 				return p, true
 			}
 		}

@@ -63,10 +63,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
@@ -165,6 +167,13 @@ type Server struct {
 	httpStats *httpStats
 	latency   *latencyHist // engine time per scheduling request
 	queueWait *latencyHist // wait in the ingest queue before the op runs
+
+	// drainRate is an EWMA of the engine's drain throughput in ops/sec
+	// (float64 bits), written by the engine goroutine after each drain and
+	// read by HTTP goroutines to derive Retry-After on 429 (see
+	// retryAfterSeconds). lastDrainEnd is engine-goroutine-only state.
+	drainRate    atomic.Uint64
+	lastDrainEnd time.Time
 }
 
 // New builds the engine and starts its owning goroutine.
@@ -414,11 +423,62 @@ func (s *Server) runOps(ops []*ingest.Op) {
 		s.applier.Apply(op)
 		s.latency.Observe(time.Since(tRun).Seconds())
 	}
+	s.observeDrain(len(ops))
 	s.publishAfterDrain()
 	for _, op := range ops {
 		op.Finish()
 	}
 }
+
+// observeDrain folds one drain into the drain-rate EWMA. The window is
+// drain-end to drain-end, which under overload — the only regime where the
+// rate is consulted — is back-to-back drains, so the sample measures true
+// apply throughput, idle gaps included otherwise (conservative: a mostly
+// idle server predicts low and hints clients to wait, which costs nothing
+// when the queue is empty anyway).
+func (s *Server) observeDrain(n int) {
+	now := time.Now()
+	if !s.lastDrainEnd.IsZero() {
+		if dt := now.Sub(s.lastDrainEnd).Seconds(); dt > 0 {
+			sample := float64(n) / dt
+			prev := math.Float64frombits(s.drainRate.Load())
+			if prev > 0 {
+				sample = 0.2*sample + 0.8*prev
+			}
+			s.drainRate.Store(math.Float64bits(sample))
+		}
+	}
+	s.lastDrainEnd = now
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the measured drain
+// rate and the current queue depth: the predicted time for the engine to
+// drain everything already queued, rounded up to whole seconds (RFC 9110
+// delta-seconds are integral). A prediction under one second floors to 0 —
+// "retry immediately" — because the queue will have turned over long before
+// a 1-second sleep ends; this is the case the old hardcoded "1" got wrong.
+// With no drain observed yet there is nothing to extrapolate from, so the
+// hint stays at the conservative 1.
+func (s *Server) retryAfterSeconds() int {
+	rate := math.Float64frombits(s.drainRate.Load())
+	if rate <= 0 {
+		return 1
+	}
+	predicted := float64(s.batcher.Len()) / rate
+	if predicted < 1 {
+		return 0
+	}
+	secs := int(math.Ceil(predicted))
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
+}
+
+// maxRetryAfter caps the Retry-After hint; beyond this the prediction says
+// more about a stalled engine than about queue depth, and well-behaved
+// clients treat the hint as a minimum anyway.
+const maxRetryAfter = 60
 
 // shutdownDrain closes admission, applies every operation the queue already
 // accepted (so no acknowledged enqueue is silently dropped), and publishes
@@ -572,11 +632,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // writeIngestError maps ingest admission failures: a full queue is 429 with
-// Retry-After (the client should back off, never block), a closed server is
-// 503.
-func writeIngestError(w http.ResponseWriter, err error) {
+// a drain-rate-derived Retry-After (the client should back off, never
+// block; see retryAfterSeconds), a closed server is 503.
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ingest.ErrOverloaded) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
@@ -634,7 +694,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	op := &ingest.Op{Kind: ingest.Submit, Job: req.job(), EnqueuedAt: time.Now()}
 	batch, err := s.batcher.Enqueue(op)
 	if err != nil {
-		writeIngestError(w, err)
+		s.writeIngestError(w, err)
 		return
 	}
 	batch.Wait()
@@ -689,7 +749,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(ops) > 0 {
 		batch, err := s.batcher.Enqueue(ops...)
 		if err != nil {
-			writeIngestError(w, err)
+			s.writeIngestError(w, err)
 			return
 		}
 		batch.Wait()
@@ -753,7 +813,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	op := &ingest.Op{Kind: ingest.Cancel, ID: id, EnqueuedAt: time.Now()}
 	batch, enqErr := s.batcher.Enqueue(op)
 	if enqErr != nil {
-		writeIngestError(w, enqErr)
+		s.writeIngestError(w, enqErr)
 		return
 	}
 	batch.Wait()
