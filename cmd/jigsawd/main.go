@@ -49,16 +49,18 @@ func main() {
 		window     = flag.Int("window", jigsaw.DefaultWindow, "EASY backfill lookahead window")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfilling (pure FIFO)")
 		failPolicy = flag.String("fail-policy", "requeue", "what happens to running jobs hit by POST /v1/fail: requeue|kill|shrink-none")
+		shards     = flag.Int("shards", 1, "split the fabric into this many per-cell engines (1 = classic single engine)")
+		route      = flag.String("route", "hash", "single-shard routing policy: hash (deterministic) or spread (least-loaded)")
 		verbose    = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *failPolicy, *verbose); err != nil {
+	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *failPolicy, *shards, *route, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "jigsawd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill bool, failPolicy string, verbose bool) error {
+func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill bool, failPolicy string, shards int, route string, verbose bool) error {
 	scheme, err := canonicalScheme(policy)
 	if err != nil {
 		return err
@@ -103,6 +105,8 @@ func run(addr string, radix int, policy, clock, scenarioName string, window int,
 		OnFailure:       onFailure,
 		VirtualClock:    virtual,
 		Logger:          logger,
+		Shards:          shards,
+		Route:           route,
 	})
 	if err != nil {
 		return err
@@ -110,8 +114,8 @@ func run(addr string, radix int, policy, clock, scenarioName string, window int,
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("jigsawd: %s policy on %d nodes (radix %d), %s clock, listening on %s\n",
-		scheme, tree.Nodes(), radix, clock, addr)
+	fmt.Printf("jigsawd: %s policy on %d nodes (radix %d), %s clock, %d shard(s), listening on %s\n",
+		scheme, tree.Nodes(), radix, clock, shards, addr)
 	return s.ListenAndServe(ctx, addr)
 }
 

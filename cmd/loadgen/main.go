@@ -2,10 +2,14 @@
 // it: a closed-loop mode (K workers, each submit -> wait -> repeat) for peak
 // sustainable throughput, and an open-loop mode (fixed arrival rate) for
 // latency under a controlled offered load. Requests go through POST /v1/jobs
-// or, with -batch > 1, through POST /v1/jobs:batch. Closed-loop workers
-// honor the server's Retry-After hint (with jitter) when shed with a 429,
-// and the time spent backing off is counted separately from request latency
-// in both the per-request records and the end-of-run summary.
+// or, with -batch > 1, through POST /v1/jobs:batch. Both modes honor the
+// server's Retry-After hint (with jitter) when shed with a 429: closed-loop
+// workers sleep before retrying, and the open loop pauses its arrival
+// schedule until the hint expires (arrivals are deferred, not dropped, and
+// the schedule resumes from the pause end rather than bursting to catch
+// up). Back-off time is counted separately from request latency — and
+// open-loop pauses separately from closed-loop sleeps — in both the
+// per-request records and the end-of-run summary.
 //
 // With no -target it starts an in-process daemon (policy, radix, and clock
 // selectable) on a loopback listener and aims at that, so CI can smoke the
@@ -113,7 +117,11 @@ type record struct {
 	Jobs      int     `json:"jobs"`   // jobs accepted by this request
 	LatencyMS float64 `json:"latency_ms"`
 	BackoffMS float64 `json:"backoff_ms,omitempty"`
-	Err       string  `json:"err,omitempty"`
+	// OpenBackoffMS is the arrival-schedule pause this request's 429 added
+	// in open-loop mode (only the extension beyond any pause already
+	// pending, so summing the column gives total paused time).
+	OpenBackoffMS float64 `json:"open_backoff_ms,omitempty"`
+	Err           string  `json:"err,omitempty"`
 }
 
 // collector accumulates per-request outcomes from all workers.
@@ -131,9 +139,12 @@ type collector struct {
 	jobs     atomic.Int64 // jobs accepted across all requests
 	backoff  atomic.Int64 // closed-loop 429 back-off, nanoseconds
 	backoffs atomic.Int64 // back-off sleeps taken
+
+	openBackoff  atomic.Int64 // open-loop 429 arrival pause, nanoseconds
+	openBackoffs atomic.Int64 // open-loop pauses (extensions) taken
 }
 
-func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, backoff time.Duration, err error) {
+func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, backoff, openBackoff time.Duration, err error) {
 	c.requests.Add(1)
 	switch {
 	case err != nil:
@@ -153,14 +164,19 @@ func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, 
 		c.backoff.Add(int64(backoff))
 		c.backoffs.Add(1)
 	}
+	if openBackoff > 0 {
+		c.openBackoff.Add(int64(openBackoff))
+		c.openBackoffs.Add(1)
+	}
 	if c.enc != nil {
 		r := record{
-			T:         sentAt.Sub(c.start).Seconds(),
-			Worker:    worker,
-			Status:    status,
-			Jobs:      jobs,
-			LatencyMS: d.Seconds() * 1e3,
-			BackoffMS: backoff.Seconds() * 1e3,
+			T:             sentAt.Sub(c.start).Seconds(),
+			Worker:        worker,
+			Status:        status,
+			Jobs:          jobs,
+			LatencyMS:     d.Seconds() * 1e3,
+			BackoffMS:     backoff.Seconds() * 1e3,
+			OpenBackoffMS: openBackoff.Seconds() * 1e3,
 		}
 		if err != nil {
 			r.Err = err.Error()
@@ -344,7 +360,7 @@ func runClosed(ctx context.Context, cfg config, client *http.Client, base string
 				if err == nil && status == http.StatusTooManyRequests {
 					backoff = backoffFor(retryAfter, rng)
 				}
-				col.note(w, t0, time.Since(t0), status, jobs, backoff, err)
+				col.note(w, t0, time.Since(t0), status, jobs, backoff, 0, err)
 				if backoff > 0 {
 					select {
 					case <-ctx.Done():
@@ -358,11 +374,40 @@ func runClosed(ctx context.Context, cfg config, client *http.Client, base string
 	wg.Wait()
 }
 
+// extendPause advances the shared pause deadline to now+b and returns the
+// pause actually added: the full b when no pause was pending, only the
+// extension when one was, and 0 when an earlier 429 already paused past the
+// new deadline. Keeping only the increment means the open-loop back-off
+// totals sum to real paused wall time even when a burst of 429s lands at
+// once.
+func extendPause(pauseUntil *atomic.Int64, b time.Duration, now time.Time) time.Duration {
+	deadline := now.Add(b).UnixNano()
+	for {
+		cur := pauseUntil.Load()
+		if deadline <= cur {
+			return 0
+		}
+		if pauseUntil.CompareAndSwap(cur, deadline) {
+			if cur > now.UnixNano() {
+				return time.Duration(deadline - cur)
+			}
+			return b
+		}
+	}
+}
+
 // runOpen is the open loop: requests start at a fixed rate regardless of how
 // fast responses come back, so latency reflects queueing at the offered
 // load. In-flight requests are capped to keep a stalled server from
 // spawning unbounded goroutines; arrivals past the cap are counted as
 // errors (the generator itself became the bottleneck).
+//
+// A 429 pauses the arrival schedule for the server's Retry-After hint (with
+// the same jitter policy as the closed loop; see backoffFor): arrivals are
+// deferred, not dropped, and the schedule resumes from the pause end rather
+// than bursting to catch up. Pause time is counted separately from the
+// closed loop's per-worker sleeps, in the records (open_backoff_ms) and the
+// summary (open_backoff_s / open_backoffs).
 func runOpen(ctx context.Context, cfg config, client *http.Client, base string, col *collector) {
 	if cfg.rate <= 0 {
 		return
@@ -370,9 +415,31 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 	interval := time.Duration(float64(time.Second) / cfg.rate)
 	inflight := make(chan struct{}, 4096)
 	rng := rand.New(rand.NewSource(cfg.seed))
+	// Response goroutines draw back-off jitter from their own guarded rng so
+	// arrival-body generation stays deterministic per seed.
+	var pauseRngMu sync.Mutex
+	pauseRng := rand.New(rand.NewSource(cfg.seed + 1))
+	var pauseUntil atomic.Int64 // unix nanos; arrivals wait while now < pauseUntil
 	var wg sync.WaitGroup
 	next := time.Now()
 	for i := 0; ctx.Err() == nil; i++ {
+		// Honor any pending 429 pause before scheduling the next arrival.
+		for {
+			p := pauseUntil.Load()
+			if p <= time.Now().UnixNano() {
+				break
+			}
+			end := time.Unix(0, p)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-time.After(time.Until(end)):
+			}
+			if next.Before(end) {
+				next = end
+			}
+		}
 		next = next.Add(interval)
 		if d := time.Until(next); d > 0 {
 			select {
@@ -395,10 +462,15 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 			defer wg.Done()
 			defer func() { <-inflight }()
 			t0 := time.Now()
-			// The open loop's arrival rate is fixed by design, so 429s are
-			// recorded but not backed off (the offered load is the point).
-			status, jobs, _, err := doRequest(cfg, client, base, path, body)
-			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, 0, err)
+			status, jobs, retryAfter, err := doRequest(cfg, client, base, path, body)
+			var openBackoff time.Duration
+			if err == nil && status == http.StatusTooManyRequests {
+				pauseRngMu.Lock()
+				b := backoffFor(retryAfter, pauseRng)
+				pauseRngMu.Unlock()
+				openBackoff = extendPause(&pauseUntil, b, time.Now())
+			}
+			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, 0, openBackoff, err)
 		}(i)
 	}
 	wg.Wait()
@@ -436,6 +508,8 @@ func report(cfg config, col *collector, elapsed float64) error {
 			"latency_max_ms": max * 1e3,
 			"backoff_s":      time.Duration(col.backoff.Load()).Seconds(),
 			"backoffs":       col.backoffs.Load(),
+			"open_backoff_s": time.Duration(col.openBackoff.Load()).Seconds(),
+			"open_backoffs":  col.openBackoffs.Load(),
 		})
 	} else {
 		fmt.Printf("loadgen: mode=%s workers=%d batch=%d elapsed=%.2fs\n",
@@ -447,6 +521,8 @@ func report(cfg config, col *collector, elapsed float64) error {
 			p50*1e3, p90*1e3, p99*1e3, max*1e3)
 		fmt.Printf("backoff:  %.3fs total across %d 429 sleeps\n",
 			time.Duration(col.backoff.Load()).Seconds(), col.backoffs.Load())
+		fmt.Printf("open:     %.3fs arrival pause across %d 429 extensions\n",
+			time.Duration(col.openBackoff.Load()).Seconds(), col.openBackoffs.Load())
 	}
 
 	if cfg.failOnError && col.errors.Load() > 0 {

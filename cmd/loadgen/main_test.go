@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -66,5 +68,73 @@ func TestBackoffFor(t *testing.T) {
 				t.Fatalf("backoffFor(%v) = %v, want in [%v, %v]", c.hint, got, c.min, c.max)
 			}
 		}
+	}
+}
+
+// TestExtendPause pins the open-loop pause accounting: a fresh pause counts
+// in full, overlapping pauses count only their extension, and pauses already
+// covered by a longer one count zero — so the open_backoff_s total sums to
+// real paused wall time no matter how many 429s land at once.
+func TestExtendPause(t *testing.T) {
+	var pauseUntil atomic.Int64
+	now := time.Now()
+
+	if got := extendPause(&pauseUntil, time.Second, now); got != time.Second {
+		t.Fatalf("fresh pause = %v, want 1s", got)
+	}
+	// A longer pause arriving mid-window counts only the extension.
+	if got := extendPause(&pauseUntil, 1500*time.Millisecond, now); got != 500*time.Millisecond {
+		t.Fatalf("overlapping pause = %v, want 500ms", got)
+	}
+	// A shorter pause is already covered: no extension, nothing counted.
+	if got := extendPause(&pauseUntil, time.Second, now); got != 0 {
+		t.Fatalf("covered pause = %v, want 0", got)
+	}
+	if want := now.Add(1500 * time.Millisecond).UnixNano(); pauseUntil.Load() != want {
+		t.Fatalf("deadline = %d, want %d", pauseUntil.Load(), want)
+	}
+	// After the window has passed, a new pause counts in full again.
+	later := now.Add(2 * time.Second)
+	if got := extendPause(&pauseUntil, time.Second, later); got != time.Second {
+		t.Fatalf("post-expiry pause = %v, want 1s", got)
+	}
+}
+
+// TestOpenLoopHonorsRetryAfter runs the open loop against a server that sheds
+// everything with Retry-After: 1 and checks the arrival schedule actually
+// pauses (far fewer requests than the offered rate would produce) and that
+// the pause is accounted in the open-loop counters, not the closed-loop ones.
+func TestOpenLoopHonorsRetryAfter(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	cfg := config{mode: "open", rate: 1000, workers: 1, batch: 1,
+		sizeMin: 1, sizeMax: 1, jobRuntime: 1, seed: 42}
+	col := &collector{start: time.Now()}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	runOpen(ctx, cfg, hs.Client(), hs.URL, col)
+
+	reqs := col.requests.Load()
+	if reqs == 0 {
+		t.Fatal("open loop sent nothing")
+	}
+	// 500ms at 1000/s would be ~500 arrivals un-paused; with every response
+	// shed and a >=1s Retry-After, the schedule pauses after the first burst.
+	if reqs > 50 {
+		t.Fatalf("open loop sent %d requests; Retry-After not honored", reqs)
+	}
+	if col.openBackoffs.Load() == 0 || col.openBackoff.Load() == 0 {
+		t.Fatalf("open-loop pause not counted: %d pauses, %dns",
+			col.openBackoffs.Load(), col.openBackoff.Load())
+	}
+	if col.backoffs.Load() != 0 {
+		t.Fatalf("closed-loop backoff counter moved in open mode: %d", col.backoffs.Load())
+	}
+	if col.shed.Load() != reqs {
+		t.Fatalf("shed %d of %d requests", col.shed.Load(), reqs)
 	}
 }

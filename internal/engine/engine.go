@@ -89,6 +89,12 @@ type Config struct {
 	// OnFailure selects what happens to running jobs whose allocation
 	// intersects an injected failure (Fail). The zero value is FailRequeue.
 	OnFailure FailurePolicy
+	// TotalNodes overrides the cluster size reported by the engine
+	// (TotalNodes, Snapshot, utilization denominators). Zero means the
+	// allocator tree's node count. A cell-restricted shard sets this to its
+	// cell's node count so per-shard utilization is meaningful even though
+	// the shard's State spans the full-geometry tree (topology.RestrictToPods).
+	TotalNodes int
 }
 
 // FailurePolicy selects the engine's treatment of running jobs hit by a
@@ -398,7 +404,7 @@ func New(cfg Config) (*Engine, error) {
 		window:   w,
 		running:  map[*runningJob]struct{}{},
 		jobs:     map[int64]*jobItem{},
-		total:    cfg.Alloc.Tree().Nodes(),
+		total:    totalNodes(cfg),
 		txnAlloc: txn,
 		feasMin:  maxInt,
 	}
@@ -411,6 +417,13 @@ func New(cfg Config) (*Engine, error) {
 		e.feasVersion = cfg.Alloc.State().Version()
 	}
 	return e, nil
+}
+
+func totalNodes(cfg Config) int {
+	if cfg.TotalNodes > 0 {
+		return cfg.TotalNodes
+	}
+	return cfg.Alloc.Tree().Nodes()
 }
 
 // Config returns the engine's configuration.

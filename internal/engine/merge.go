@@ -1,0 +1,138 @@
+package engine
+
+// Merging per-shard accounting ledgers into one cluster-wide ledger. The
+// sharded daemon (internal/server) keeps one Accounting per engine; /metrics
+// and the batch reports want the totals, and those totals must not depend on
+// which order the shards are read in.
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Merge combines two accounting ledgers into a cluster-wide one. It is
+// commutative and associative (up to float summation order), so folding any
+// permutation of per-shard ledgers yields the same result; on shard-local
+// traces the fold equals the single-engine ledger (see
+// TestAccountingMergeMatchesSingleEngine).
+//
+// Slices are re-sorted into the deterministic orders the single engine
+// produces: Records by (End, Job.ID), Rejected and Killed by
+// (Arrival, Job.ID). UtilSeries is the pointwise sum of the two step
+// functions with points at the union of their event times, matching the
+// single engine's pushUtil coalescing. FirstArrival is the minimum over
+// ledgers that saw any activity (a zero-valued idle ledger contributes
+// nothing); LastEnd and SteadyEnd are maxima; every scalar counter is summed.
+//
+// InstSamples is the one field that cannot be merged: each sample is
+// used/total at one engine's event, and the other engines' concurrent usage
+// at that instant is not recorded. The merged ledger carries no samples;
+// per-shard distributions remain available on the inputs.
+func (a Accounting) Merge(b Accounting) Accounting {
+	m := Accounting{
+		Records:                mergeRecords(a.Records, b.Records),
+		Rejected:               mergeJobs(a.Rejected, b.Rejected),
+		Killed:                 mergeJobs(a.Killed, b.Killed),
+		UtilSeries:             mergeUtil(a.UtilSeries, b.UtilSeries),
+		LastEnd:                max(a.LastEnd, b.LastEnd),
+		SteadyEnd:              max(a.SteadyEnd, b.SteadyEnd),
+		AllocSeconds:           a.AllocSeconds + b.AllocSeconds,
+		AllocCalls:             a.AllocCalls + b.AllocCalls,
+		FeasCacheHits:          a.FeasCacheHits + b.FeasCacheHits,
+		FeasCacheMisses:        a.FeasCacheMisses + b.FeasCacheMisses,
+		FeasCacheInvalidations: a.FeasCacheInvalidations + b.FeasCacheInvalidations,
+	}
+	switch {
+	case !a.hasActivity():
+		m.FirstArrival = b.FirstArrival
+	case !b.hasActivity():
+		m.FirstArrival = a.FirstArrival
+	default:
+		m.FirstArrival = min(a.FirstArrival, b.FirstArrival)
+	}
+	return m
+}
+
+// hasActivity reports whether the ledger recorded anything at all — the
+// guard that keeps an idle shard's zero FirstArrival from dragging the
+// merged minimum to 0.
+func (a Accounting) hasActivity() bool {
+	return len(a.UtilSeries) > 0 || len(a.InstSamples) > 0 ||
+		len(a.Records) > 0 || len(a.Rejected) > 0 || len(a.Killed) > 0 ||
+		a.FirstArrival != 0 || a.AllocCalls != 0
+}
+
+// mergeRecords and mergeJobs concatenate and re-sort; both return nil for
+// empty inputs so a merged ledger is DeepEqual-comparable to a single
+// engine's (whose untouched slices are nil, not empty).
+func mergeRecords(a, b []Record) []Record {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := append(append(make([]Record, 0, len(a)+len(b)), a...), b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Job.ID < out[j].Job.ID
+	})
+	return out
+}
+
+func mergeJobs(a, b []trace.Job) []trace.Job {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	out := append(append(make([]trace.Job, 0, len(a)+len(b)), a...), b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// mergeUtil sums two used-node step functions. Each input holds the value
+// from a point's T until the next point (zero before the first); the output
+// has a point at every distinct input time carrying the summed level, so
+// merging shard-local series reproduces the single engine's series exactly
+// (both push one coalesced point per event time).
+func mergeUtil(a, b []UtilPoint) []UtilPoint {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	if len(a) == 0 {
+		return append(make([]UtilPoint, 0, len(b)), b...)
+	}
+	if len(b) == 0 {
+		return append(make([]UtilPoint, 0, len(a)), a...)
+	}
+	out := make([]UtilPoint, 0, len(a)+len(b))
+	var ua, ub int
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var t float64
+		switch {
+		case j >= len(b):
+			t = a[i].T
+		case i >= len(a):
+			t = b[j].T
+		case a[i].T <= b[j].T:
+			t = a[i].T
+		default:
+			t = b[j].T
+		}
+		for i < len(a) && a[i].T == t {
+			ua = a[i].Used
+			i++
+		}
+		for j < len(b) && b[j].T == t {
+			ub = b[j].Used
+			j++
+		}
+		out = append(out, UtilPoint{T: t, Used: ua + ub})
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestMergeUtilStepSum(t *testing.T) {
+	a := []UtilPoint{{T: 0, Used: 2}, {T: 5, Used: 0}, {T: 7, Used: 3}}
+	b := []UtilPoint{{T: 1, Used: 4}, {T: 5, Used: 1}, {T: 9, Used: 0}}
+	got := mergeUtil(a, b)
+	want := []UtilPoint{
+		{T: 0, Used: 2}, {T: 1, Used: 6}, {T: 5, Used: 1},
+		{T: 7, Used: 4}, {T: 9, Used: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeUtil = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(mergeUtil(b, a), want) {
+		t.Fatalf("mergeUtil not commutative: %v", mergeUtil(b, a))
+	}
+	if got := mergeUtil(nil, b); !reflect.DeepEqual(got, b) {
+		t.Fatalf("mergeUtil(nil, b) = %v", got)
+	}
+}
+
+func TestMergeIdleLedgerKeepsFirstArrival(t *testing.T) {
+	busy := Accounting{FirstArrival: 42, LastEnd: 100, AllocCalls: 3}
+	idle := Accounting{}
+	for _, m := range []Accounting{busy.Merge(idle), idle.Merge(busy)} {
+		if m.FirstArrival != 42 {
+			t.Fatalf("FirstArrival = %g, want 42", m.FirstArrival)
+		}
+		if m.LastEnd != 100 || m.AllocCalls != 3 {
+			t.Fatalf("merged scalars wrong: %+v", m)
+		}
+	}
+}
+
+// shardLocalWorkload builds a trace whose jobs each fit one cell of the tree
+// and never queue: per-cell concurrent demand stays far below cell capacity,
+// so FIFO starts every job at its arrival both on the full fabric and on a
+// cell-restricted shard. That is the regime where per-shard ledgers must
+// fold to exactly the single-engine ledger.
+func shardLocalWorkload(rng *rand.Rand, cells int, tree *topology.FatTree, n int) [][]trace.Job {
+	per := make([][]trace.Job, cells)
+	arr := 0.0
+	for i := 0; i < n; i++ {
+		arr += 1 + rng.Float64()*20
+		c := rng.Intn(cells)
+		j := trace.Job{
+			ID:      int64(i + 1),
+			Size:    1 + rng.Intn(tree.NodesPerLeaf),
+			Arrival: arr,
+			Runtime: 1 + rng.Float64()*15,
+		}
+		per[c] = append(per[c], j)
+	}
+	return per
+}
+
+func restrictedEngine(t *testing.T, tree *topology.FatTree, lo, hi int) *Engine {
+	t.Helper()
+	a := baseline.NewAllocator(tree)
+	a.State().RestrictToPods(lo, hi)
+	e, err := New(Config{
+		Alloc:      a,
+		Scenario:   scenario.None{},
+		TotalNodes: (hi - lo) * tree.PodNodes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestAccountingMergeMatchesSingleEngine is the satellite property test: on
+// shard-local traces, folding the per-shard ledgers in any order equals the
+// single-engine ledger (InstSamples excepted — Merge documents it as
+// non-mergeable and drops it).
+func TestAccountingMergeMatchesSingleEngine(t *testing.T) {
+	tree := topology.MustNew(8) // 8 pods
+	bounds := [][2]int{{0, 3}, {3, 6}, {6, 8}}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		per := shardLocalWorkload(rng, len(bounds), tree, 120)
+
+		single := newEngine(t, 8)
+		for _, js := range per {
+			for _, j := range js {
+				if err := single.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		drain(single)
+		want := single.Accounting()
+		if int(single.Counts().Completed) != 120 {
+			t.Fatalf("seed %d: workload queued or failed: %+v", seed, single.Counts())
+		}
+
+		shards := make([]Accounting, len(bounds))
+		for c, b := range bounds {
+			e := restrictedEngine(t, tree, b[0], b[1])
+			for _, j := range per[c] {
+				if err := e.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			drain(e)
+			shards[c] = e.Accounting()
+		}
+
+		// Fold in several orders; all must agree with each other and with
+		// the single engine.
+		orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}}
+		var first Accounting
+		for oi, ord := range orders {
+			m := shards[ord[0]]
+			for _, c := range ord[1:] {
+				m = m.Merge(shards[c])
+			}
+			if oi == 0 {
+				first = m
+			} else if !reflect.DeepEqual(m, first) {
+				t.Fatalf("seed %d: merge order %v diverged", seed, ord)
+			}
+			norm := want
+			norm.InstSamples = nil
+			if !reflect.DeepEqual(m, norm) {
+				t.Fatalf("seed %d order %v: merged ledger != single engine\nmerged: %+v\nsingle: %+v",
+					seed, ord, m, norm)
+			}
+		}
+	}
+}

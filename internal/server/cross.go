@@ -1,0 +1,421 @@
+package server
+
+// Cross-shard placement: jobs wider than the widest cell are owned by the
+// coordinator, a single goroutine that places them at whole-pod granularity
+// across every lane.
+//
+// Placement protocol (the only code path that ever holds more than one
+// lane):
+//
+//  1. Park every lane in ascending index order (lane.park pins the lane's
+//     engine goroutine inside an admin closure). One coordinator, one fixed
+//     acquisition order, and lanes that never wait on each other: no cycle
+//     in the wait-for graph is possible, so no deadlock (DESIGN.md §16).
+//  2. Align clocks: advance every engine to the furthest shard clock (and
+//     to the job's arrival in virtual mode), so all slices start at one
+//     consistent instant.
+//  3. Collect fully-free pods in ascending pod order, compose a whole-pod
+//     partition (shard.ComposeWholePods — verified against the Section 3.2
+//     legality conditions once, spine/L2 compatibility included), split it
+//     per cell, and charge each member engine its slice via StartPlaced
+//     with the runtime computed once here.
+//  4. Release lanes in descending order; each release publishes a fresh
+//     snapshot, so readers see every slice as soon as the gateway answers.
+//
+// Queued wide jobs are served strictly FIFO among themselves; they do not
+// backfill around each other. Single-shard traffic keeps flowing between
+// attempts — lanes are only parked for the O(pods) placement itself.
+//
+// Failures intersecting one slice follow the owning shard's failure policy
+// independently (the slice is requeued or killed as a shard-local job);
+// surviving slices keep running, mirroring the paper's per-partition
+// fault containment.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/shard"
+	"repro/internal/snapshot"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// crossRetryInterval paces placement retries while wide jobs wait: lanes
+// drain their own queues between attempts, so completions that free pods are
+// picked up within one interval.
+const crossRetryInterval = 20 * time.Millisecond
+
+type crossState int
+
+const (
+	crossWaiting crossState = iota
+	crossRunning
+	crossCancelled
+)
+
+type crossJob struct {
+	j       trace.Job
+	eff     float64
+	state   crossState
+	members []int // owning lane indices once running
+}
+
+// coordinator owns every cross-shard job. All fields behind mu; the run
+// goroutine is the only caller of place.
+type coordinator struct {
+	s *Server
+
+	mu     sync.Mutex
+	fifo   []*crossJob
+	jobs   map[int64]*crossJob
+	closed bool
+	placed int64
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newCoordinator(s *Server) *coordinator {
+	c := &coordinator{
+		s:    s,
+		jobs: map[int64]*crossJob{},
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// close stops the placement goroutine. Waiting jobs stay queued (and are
+// reported as such) — the daemon is shutting down.
+func (c *coordinator) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.quit)
+	<-c.done
+}
+
+// submit enqueues a wide job and returns its queued status. The effective
+// runtime is computed once here — every slice runs for the same duration.
+func (c *coordinator) submit(j trace.Job) (engine.JobStatus, error) {
+	if !c.s.cfg.VirtualClock {
+		j.Arrival = c.s.cfg.NowFunc()
+	}
+	eff := j.Runtime
+	if c.s.cfg.ApplySpeedups && c.s.cfg.Scenario != nil {
+		eff = scenario.IsolatedRuntime(c.s.cfg.Scenario, j)
+	}
+	cj := &crossJob{j: j, eff: eff}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return engine.JobStatus{}, ErrClosed
+	}
+	c.fifo = append(c.fifo, cj)
+	c.jobs[j.ID] = cj
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return engine.JobStatus{Job: j, State: engine.StateQueued, Runtime: eff}, nil
+}
+
+// waiting returns queued cross-shard jobs in FIFO order for the merged
+// queue/cluster views.
+func (c *coordinator) waiting() []engine.JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]engine.JobStatus, 0, len(c.fifo))
+	for _, cj := range c.fifo {
+		out = append(out, engine.JobStatus{Job: cj.j, State: engine.StateQueued, Runtime: cj.eff})
+	}
+	return out
+}
+
+// stats reports (waiting, placed-since-start) for /v1/shards.
+func (c *coordinator) stats() (waiting int, placed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fifo), c.placed
+}
+
+// status resolves a cross-owned job: queued and cancelled jobs answer from
+// the registry; running jobs merge the member lanes' point lookups.
+func (c *coordinator) status(id int64) (engine.JobStatus, error) {
+	c.mu.Lock()
+	cj, ok := c.jobs[id]
+	if !ok {
+		c.mu.Unlock()
+		return engine.JobStatus{}, fmt.Errorf("unknown cross-shard job %d", id)
+	}
+	st := engine.JobStatus{Job: cj.j, State: engine.StateQueued, Runtime: cj.eff}
+	state, members := cj.state, cj.members
+	c.mu.Unlock()
+	switch state {
+	case crossWaiting:
+		return st, nil
+	case crossCancelled:
+		st.State = engine.StateCancelled
+		return st, nil
+	}
+	sts := make([]engine.JobStatus, 0, len(members))
+	for _, li := range members {
+		var got engine.JobStatus
+		var ok bool
+		if err := c.s.lanes[li].do(func(e *engine.Engine) { got, ok = e.Status(id) }); err != nil {
+			return engine.JobStatus{}, err
+		}
+		if ok {
+			sts = append(sts, got)
+		}
+	}
+	if len(sts) == 0 {
+		return st, nil
+	}
+	return snapshot.MergeStatuses(sts), nil
+}
+
+// cancel serves DELETE for a cross-owned job: a waiting job is removed from
+// the FIFO; a running job is cancelled slice-by-slice on its member lanes
+// (each lane releases its slice's resources; the merged status is returned).
+func (c *coordinator) cancel(w http.ResponseWriter, id int64) {
+	c.mu.Lock()
+	cj, ok := c.jobs[id]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job %d", id)
+		return
+	}
+	switch cj.state {
+	case crossWaiting:
+		cj.state = crossCancelled
+		for i, q := range c.fifo {
+			if q == cj {
+				c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+				break
+			}
+		}
+		st := engine.JobStatus{Job: cj.j, State: engine.StateCancelled, Runtime: cj.eff}
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, toJobJSON(st))
+		return
+	case crossCancelled:
+		c.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %d is already cancelled", id)
+		return
+	}
+	members := cj.members
+	c.mu.Unlock()
+	cancelled := 0
+	var lastErr error
+	sts := make([]engine.JobStatus, 0, len(members))
+	for _, li := range members {
+		var st engine.JobStatus
+		var ok bool
+		var cerr error
+		if err := c.s.lanes[li].do(func(e *engine.Engine) {
+			_, cerr = e.Cancel(id)
+			st, ok = e.Status(id)
+		}); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if cerr == nil {
+			cancelled++
+		} else {
+			lastErr = cerr
+		}
+		if ok {
+			sts = append(sts, st)
+		}
+	}
+	if cancelled == 0 {
+		writeError(w, http.StatusConflict, "%v", lastErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(snapshot.MergeStatuses(sts)))
+}
+
+// run is the placement goroutine: woken by submits, paced by the retry
+// ticker while jobs wait for pods to free up.
+func (c *coordinator) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(crossRetryInterval)
+	defer ticker.Stop()
+	for {
+		c.mu.Lock()
+		pending := len(c.fifo) > 0
+		c.mu.Unlock()
+		if pending {
+			select {
+			case <-c.quit:
+				return
+			case <-c.wake:
+			case <-ticker.C:
+			}
+		} else {
+			select {
+			case <-c.quit:
+				return
+			case <-c.wake:
+			}
+		}
+		c.placeAll()
+	}
+}
+
+// placeAll places FIFO heads until one does not fit (strict FIFO: a stuck
+// wide job blocks the wide jobs behind it, never the single-shard traffic).
+func (c *coordinator) placeAll() {
+	for {
+		select {
+		case <-c.quit:
+			return
+		default:
+		}
+		c.mu.Lock()
+		if len(c.fifo) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		head := c.fifo[0]
+		c.mu.Unlock()
+		if !c.place(head) {
+			return
+		}
+		c.mu.Lock()
+		if len(c.fifo) > 0 && c.fifo[0] == head {
+			c.fifo = c.fifo[1:]
+		}
+		c.mu.Unlock()
+	}
+}
+
+// place attempts one whole-pod placement. It returns true when the head is
+// disposed of (started, or found cancelled), false when it must wait.
+func (c *coordinator) place(cj *crossJob) bool {
+	n := len(c.s.lanes)
+	engs := make([]*engine.Engine, n)
+	rels := make([]func(), n)
+	for i := 0; i < n; i++ {
+		eng, rel, err := c.s.lanes[i].park()
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				rels[j]()
+			}
+			return false
+		}
+		engs[i], rels[i] = eng, rel
+	}
+	defer func() {
+		for j := n - 1; j >= 0; j-- {
+			rels[j]()
+		}
+	}()
+
+	// One consistent instant across every shard clock.
+	var now float64
+	if c.s.cfg.VirtualClock {
+		for _, e := range engs {
+			if e.Now() > now {
+				now = e.Now()
+			}
+		}
+		if cj.j.Arrival > now {
+			now = cj.j.Arrival
+		}
+	} else {
+		now = c.s.cfg.NowFunc()
+	}
+	for _, e := range engs {
+		e.AdvanceTo(now)
+	}
+
+	pn := c.s.tree.PodNodes()
+	need := (cj.j.Size + pn - 1) / pn
+	pods := make([]int, 0, need)
+	for i, e := range engs {
+		st := e.Config().Alloc.State()
+		for pod := c.s.cells[i].PodLo; pod < c.s.cells[i].PodHi && len(pods) < need; pod++ {
+			if st.FullyFreePod(pod) {
+				pods = append(pods, pod)
+			}
+		}
+		if len(pods) == need {
+			break
+		}
+	}
+	if len(pods) < need {
+		return false
+	}
+
+	p, err := shard.ComposeWholePods(c.s.tree, pods, cj.j.Size)
+	if err != nil {
+		// Unreachable by construction (size > maxCell >= PodNodes); refuse
+		// to spin on a bug.
+		c.s.log.Error("cross-shard compose failed", "job", cj.j.ID, "err", err)
+		c.dropHead(cj)
+		return true
+	}
+	demand := engs[0].Config().Alloc.State().Capacity
+	pl := p.Placement(c.s.tree, topology.JobID(cj.j.ID), demand)
+	slices, err := shard.SplitByCell(c.s.tree, c.s.cells, pl)
+	if err != nil {
+		c.s.log.Error("cross-shard split failed", "job", cj.j.ID, "err", err)
+		c.dropHead(cj)
+		return true
+	}
+
+	c.mu.Lock()
+	if cj.state != crossWaiting { // cancelled while we were composing
+		c.mu.Unlock()
+		return true
+	}
+	cj.state = crossRunning
+	members := make([]int, 0, len(slices))
+	for ci := range slices {
+		members = append(members, ci)
+	}
+	sort.Ints(members)
+	cj.members = members
+	c.mu.Unlock()
+
+	for _, ci := range members {
+		slice := slices[ci]
+		sj := cj.j
+		sj.Size = len(slice.Nodes)
+		if _, err := engs[ci].StartPlaced(sj, cj.eff, slice); err != nil {
+			// Unreachable: gateway-unique IDs, placement verified, pods free.
+			c.s.log.Error("cross-shard start failed", "job", cj.j.ID, "lane", ci, "err", err)
+		}
+	}
+	c.mu.Lock()
+	c.placed++
+	c.mu.Unlock()
+	c.s.log.Info("cross-shard placement", "job", cj.j.ID, "size", cj.j.Size,
+		"pods", need, "lanes", len(members), "at", now)
+	return true
+}
+
+// dropHead marks an unplaceable head cancelled so the FIFO keeps moving;
+// only reachable on internal errors that would otherwise wedge the lane.
+func (c *coordinator) dropHead(cj *crossJob) {
+	c.mu.Lock()
+	cj.state = crossCancelled
+	c.mu.Unlock()
+}

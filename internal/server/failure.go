@@ -12,6 +12,7 @@ import (
 	"net/http"
 
 	"repro/internal/engine"
+	"repro/internal/shard"
 	"repro/internal/topology"
 )
 
@@ -72,14 +73,53 @@ func decodeFailure(w http.ResponseWriter, r *http.Request) (topology.Failure, bo
 	return f, true
 }
 
+// failurePod maps a single-pod failure domain to its pod, or -1 for
+// spine-switch failures, which span every pod (each spine serves one L2
+// position of all pods) and must be applied to every shard.
+func (s *Server) failurePod(f topology.Failure) int {
+	switch f.Kind {
+	case topology.FailureNode:
+		return int(f.Node) / s.tree.NodesPerLeaf / s.tree.LeavesPerPod
+	case topology.FailureLeafUplink, topology.FailureLeafSwitch:
+		return f.Leaf / s.tree.LeavesPerPod
+	case topology.FailureSpineUplink, topology.FailureL2Switch:
+		return f.Pod
+	default:
+		return -1
+	}
+}
+
+// failureLane resolves the lane owning a failure's pod; the bool is false
+// for cross-cutting (spine-switch) failures.
+func (s *Server) failureLane(f topology.Failure) (*lane, bool) {
+	pod := s.failurePod(f)
+	if pod < 0 {
+		return nil, false
+	}
+	if ci := shard.CellOf(s.cells, pod); ci >= 0 {
+		return s.lanes[ci], true
+	}
+	// Out-of-range identifiers: let lane 0's engine produce its usual
+	// validation error.
+	return s.lane, true
+}
+
 func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	f, ok := decodeFailure(w, r)
 	if !ok {
 		return
 	}
+	l, single := s.failureLane(f)
+	if !single && s.sharded() {
+		s.failAllLanes(w, f)
+		return
+	}
+	if !single {
+		l = s.lane
+	}
 	var rep engine.FailReport
 	var failErr error
-	err := s.do(func(e *engine.Engine) { rep, failErr = e.Fail(f) })
+	err := l.do(func(e *engine.Engine) { rep, failErr = e.Fail(f) })
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -98,14 +138,61 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// failAllLanes applies a spine-switch failure to every shard in ascending
+// lane order, reverting the already-applied lanes if a later one rejects it
+// so the fabric is never left partially failed.
+func (s *Server) failAllLanes(w http.ResponseWriter, f topology.Failure) {
+	var agg engine.FailReport
+	applied := make([]*lane, 0, len(s.lanes))
+	revert := func() {
+		for _, l := range applied {
+			l.do(func(e *engine.Engine) { e.Recover(f) })
+		}
+	}
+	for _, l := range s.lanes {
+		var rep engine.FailReport
+		var failErr error
+		if err := l.do(func(e *engine.Engine) { rep, failErr = e.Fail(f) }); err != nil {
+			revert()
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if failErr != nil {
+			revert()
+			writeError(w, http.StatusConflict, "%v", failErr)
+			return
+		}
+		applied = append(applied, l)
+		agg.Affected += rep.Affected
+		agg.Requeued += rep.Requeued
+		agg.Killed += rep.Killed
+	}
+	s.log.Warn("resource failed", "failure", f.String(),
+		"affected", agg.Affected, "requeued", agg.Requeued, "killed", agg.Killed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"failure":  f.String(),
+		"affected": agg.Affected,
+		"requeued": agg.Requeued,
+		"killed":   agg.Killed,
+	})
+}
+
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	f, ok := decodeFailure(w, r)
 	if !ok {
 		return
 	}
+	l, single := s.failureLane(f)
+	if !single && s.sharded() {
+		s.recoverAllLanes(w, f)
+		return
+	}
+	if !single {
+		l = s.lane
+	}
 	var recErr error
 	var degraded bool
-	err := s.do(func(e *engine.Engine) {
+	err := l.do(func(e *engine.Engine) {
 		recErr = e.Recover(f)
 		degraded = e.Degraded()
 	})
@@ -124,12 +211,44 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// recoverAllLanes undoes a spine-switch failure on every shard. All lanes
+// are attempted (a partial recovery is strictly better than none); the
+// first rejection is reported if any lane refused.
+func (s *Server) recoverAllLanes(w http.ResponseWriter, f topology.Failure) {
+	var firstErr error
+	degraded := false
+	for _, l := range s.lanes {
+		var recErr error
+		if err := l.do(func(e *engine.Engine) {
+			recErr = e.Recover(f)
+			if e.Degraded() {
+				degraded = true
+			}
+		}); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if recErr != nil && firstErr == nil {
+			firstErr = recErr
+		}
+	}
+	if firstErr != nil {
+		writeError(w, http.StatusConflict, "%v", firstErr)
+		return
+	}
+	s.log.Info("resource recovered", "failure", f.String(), "degraded", degraded)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"failure":  f.String(),
+		"degraded": degraded,
+	})
+}
+
 // handleHealthz is the liveness probe. A degraded fabric still answers 200 —
 // the daemon is alive and scheduling around the failures — but the body says
 // "degraded" so probes and humans can tell the difference at a glance. It is
 // served from the published snapshot: a probe never waits on the engine.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	v := s.pub.Load()
+	v := s.view()
 	w.WriteHeader(http.StatusOK)
 	if v.Snap.FailedNodes+v.Snap.FailedLinks+v.Snap.FailedSwitches > 0 {
 		io.WriteString(w, "degraded\n")

@@ -14,7 +14,7 @@ import (
 // goroutine — retryAfterSeconds reads only those two inputs.
 func retryAfterServer(t *testing.T, queueCap, depth int, rate float64) *Server {
 	t.Helper()
-	s := &Server{batcher: ingest.NewBatcher(queueCap, 16)}
+	s := &Server{lane: &lane{batcher: ingest.NewBatcher(queueCap, 16)}}
 	for i := 0; i < depth; i++ {
 		if _, err := s.batcher.Enqueue(&ingest.Op{Kind: ingest.Cancel, ID: int64(i)}); err != nil {
 			t.Fatalf("enqueue %d: %v", i, err)
@@ -81,7 +81,7 @@ func TestWriteIngestErrorRetryAfterHeader(t *testing.T) {
 // EWMA, later windows fold in at 0.2, and a zero-elapsed window is skipped
 // rather than dividing by zero.
 func TestObserveDrainEWMA(t *testing.T) {
-	s := &Server{}
+	s := &Server{lane: &lane{}}
 	s.lastDrainEnd = time.Now().Add(-100 * time.Millisecond)
 	s.observeDrain(100) // ~1000 ops/sec over ~100ms
 	first := math.Float64frombits(s.drainRate.Load())

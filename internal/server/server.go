@@ -5,37 +5,39 @@
 //
 // # Concurrency model
 //
-// The engine is single-threaded and is never locked. One goroutine — the
-// engine goroutine, started by New — owns it exclusively. The front door is
-// split by direction:
+// The fabric is split into Config.Shards contiguous pod ranges ("cells",
+// internal/shard), each owned by one lane (lane.go): a single-threaded
+// engine on its own goroutine, fronted by a bounded ingest queue
+// (internal/ingest) for writes and an RCU-style snapshot (internal/snapshot)
+// for reads. Engines are never locked; each lane's goroutine owns its engine
+// exclusively, exactly the single-engine model every prior PR pinned — there
+// are just N of them now, draining in parallel.
 //
-//   - Writes (submit, cancel) flow through a bounded ingest queue
-//     (internal/ingest): HTTP goroutines enqueue operations without waiting
-//     for the engine to wake, and the engine goroutine drains everything
-//     queued — up to a batch bound — in one tick, applying each operation
-//     with the same per-op semantics as serial submission. A full queue
-//     sheds load with 429 + Retry-After instead of blocking.
-//   - Reads (/v1/queue, /v1/cluster, /metrics, /healthz) are served from an
-//     RCU-style immutable snapshot (internal/snapshot) the engine goroutine
-//     publishes with one atomic pointer swap. Reads never touch the engine
-//     goroutine, so read latency is independent of write load. While the
-//     active set is small (≤ publishCheapThreshold jobs) a snapshot is
-//     published after every drain, so a client that submits and immediately
-//     reads sees its own write. Under a sustained storm with a deep backlog
-//     — where capture cost is O(active jobs) and would dominate ingest
-//     throughput — publishes are throttled to one per publishMinInterval
-//     and flushed no later than that after load pauses, so reads are
-//     boundedly stale rather than a write-path bottleneck. GET /v1/jobs/{id}
-//     serves active jobs from the snapshot and falls back to an engine
-//     round trip for terminal ones (the snapshot indexes only the working
-//     set).
-//   - Admin mutations (fail, recover) still run as closures on the engine
-//     goroutine; each publishes a fresh snapshot before the response.
+// The Server is the routing gateway over the lanes:
 //
-// The engine goroutine also drives time:
+//   - Jobs no wider than a cell are routed to one lane (deterministic hash
+//     by default, least-loaded with Config.Route "spread") and scheduled
+//     fully in parallel with every other lane's work.
+//   - Wider jobs take the cross-shard path (cross.go): a coordinator parks
+//     every lane in ascending index order, composes a whole-pod partition
+//     that the internal/partition legality conditions verify once, splits it
+//     per cell, and charges each engine its slice via StartPlaced.
+//   - Reads merge the per-lane snapshots (snapshot.Merge): internally
+//     consistent per shard, boundedly stale across shards, with a composite
+//     monotone sequence number.
+//   - Failure injection routes to the owning lane by pod; spine-switch
+//     failures (which span every cell) apply to all lanes in ascending
+//     order, reverting on partial failure.
+//
+// With Shards == 1 (the default) the Server embeds the one lane directly
+// and every path — ingest, publish cadence, admin closures, ID assignment —
+// is byte-identical to the pre-shard daemon; the shard-count differential
+// tests pin that.
+//
+// Each lane drives time the same way the single engine did:
 //
 //   - virtual clock (Config.VirtualClock): whenever nothing is queued, the
-//     goroutine steps the engine to its next event, fast-forwarding through
+//     lane steps its engine to the next event, fast-forwarding through
 //     arrivals and completions as fast as the allocator can place them.
 //   - wall clock: the engine's virtual time tracks real seconds since the
 //     server started; a timer wakes the goroutine for the next completion,
@@ -49,6 +51,7 @@
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
 //	GET    /v1/queue      waiting jobs in FIFO order (snapshot-served)
 //	GET    /v1/cluster    topology, occupancy, utilization, counters
+//	GET    /v1/shards     per-shard cells, occupancy, and queue depths
 //	POST   /v1/fail       fail a resource        {"kind":"node","node":5}
 //	POST   /v1/recover    recover a failed resource (same body as /v1/fail)
 //	GET    /metrics       Prometheus text format (version 0.0.4)
@@ -63,11 +66,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -75,7 +79,9 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/snapshot"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -85,7 +91,9 @@ var ErrClosed = errors.New("server: closed")
 // Config configures a daemon instance.
 type Config struct {
 	// Alloc is the placement policy the engine schedules with; required.
-	// Build one with jigsaw.NewAllocator (cmd/jigsawd does).
+	// Build one with jigsaw.NewAllocator (cmd/jigsawd does). With Shards > 1
+	// it must be freshly constructed (nothing allocated): each lane beyond
+	// the first schedules with a Clone restricted to its cell.
 	Alloc alloc.Allocator
 	// Scenario assigns isolated-execution speed-ups when ApplySpeedups is
 	// set; nil means scenario "None".
@@ -106,12 +114,18 @@ type Config struct {
 	// NowFunc supplies wall-clock seconds for the wall mode; nil uses
 	// monotonic seconds since New. Exposed for tests.
 	NowFunc func() float64
-	// IngestQueue bounds accepted-but-unapplied operations; a full queue
-	// sheds new work with 429. 0 means the default (4096).
+	// IngestQueue bounds accepted-but-unapplied operations per lane; a full
+	// queue sheds new work with 429. 0 means the default (4096).
 	IngestQueue int
 	// MaxBatch bounds how many queued operations one engine tick applies.
 	// 0 means the default (256).
 	MaxBatch int
+	// Shards splits the fabric into this many per-cell engines (lanes).
+	// 0 or 1 means the classic single-engine daemon, bit-for-bit.
+	Shards int
+	// Route picks the single-shard routing policy: "hash" (default;
+	// deterministic by job ID) or "spread" (least-loaded fitting lane).
+	Route string
 }
 
 const (
@@ -138,62 +152,46 @@ const (
 	publishMaxInterval  = time.Second
 )
 
-// engineReq is one admin closure headed for the engine goroutine.
-type engineReq struct {
-	fn  func(*engine.Engine)
-	ran chan struct{}
-}
+// crossOwner marks a job routed to the cross-shard coordinator in the owner
+// map (lane indices are >= 0).
+const crossOwner = -1
 
-// Server is one daemon instance: an engine, its owning goroutine, and the
-// HTTP surface. Create with New, serve with Serve/ListenAndServe or by
-// mounting Handler, and stop with Close.
+// Server is one daemon instance: one lane per shard, the routing gateway,
+// and the HTTP surface. Create with New, serve with Serve/ListenAndServe or
+// by mounting Handler, and stop with Close. The first lane is embedded so
+// single-lane deployments (and the pre-shard test suite) address its fields
+// directly.
 type Server struct {
-	cfg  Config
-	eng  *engine.Engine
-	log  *slog.Logger
-	reqs chan engineReq
-	quit chan struct{}
-	done chan struct{}
+	cfg   Config
+	log   *slog.Logger
+	tree  *topology.FatTree
+	cells []shard.Cell
+	lanes []*lane
+	*lane // lanes[0]
 
-	batcher *ingest.Batcher
-	applier *ingest.Applier
-	pub     *snapshot.Publisher
-	// lastPublish / publishPending / publishCost implement the deep-backlog
-	// publish throttle; engine goroutine only. See publishAfterDrain.
-	lastPublish    time.Time
-	publishPending bool
-	publishCost    time.Duration
+	// maxCell is the widest job a single lane can host; wider jobs go
+	// cross-shard.
+	maxCell int
+	// nextID assigns job IDs at the gateway when Shards > 1 (per-lane
+	// appliers would collide); with one lane the applier assigns, exactly
+	// as before.
+	nextID atomic.Int64
+	// owner maps job ID -> owning lane index (or crossOwner). Only
+	// populated when Shards > 1.
+	owner sync.Map
+	// cross is the wide-job coordinator; nil when Shards == 1.
+	cross *coordinator
 
 	httpStats *httpStats
-	latency   *latencyHist // engine time per scheduling request
-	queueWait *latencyHist // wait in the ingest queue before the op runs
-
-	// drainRate is an EWMA of the engine's drain throughput in ops/sec
-	// (float64 bits), written by the engine goroutine after each drain and
-	// read by HTTP goroutines to derive Retry-After on 429 (see
-	// retryAfterSeconds). lastDrainEnd is engine-goroutine-only state.
-	drainRate    atomic.Uint64
-	lastDrainEnd time.Time
 }
 
-// New builds the engine and starts its owning goroutine.
+// New builds one engine per shard and starts their owning goroutines.
 func New(cfg Config) (*Server, error) {
 	sc := cfg.Scenario
 	if sc == nil {
 		sc = scenario.None{}
 	}
-	eng, err := engine.New(engine.Config{
-		Alloc:            cfg.Alloc,
-		Scenario:         sc,
-		Window:           cfg.Window,
-		DisableBackfill:  cfg.DisableBackfill,
-		ApplySpeedups:    cfg.ApplySpeedups,
-		OnFailure:        cfg.OnFailure,
-		MeasureAllocTime: true,
-	})
-	if err != nil {
-		return nil, err
-	}
+	cfg.Scenario = sc
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -208,303 +206,141 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	switch cfg.Route {
+	case "", "hash":
+		cfg.Route = "hash"
+	case "spread":
+	default:
+		return nil, fmt.Errorf("server: unknown route policy %q (want hash or spread)", cfg.Route)
+	}
+	if cfg.Alloc == nil {
+		return nil, fmt.Errorf("server: nil allocator")
+	}
+	tree := cfg.Alloc.Tree()
+	cells, err := shard.Plan(tree, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards > 1 && cfg.Alloc.State().Version() != 0 {
+		return nil, fmt.Errorf("server: sharding requires a freshly-constructed allocator")
+	}
+
 	s := &Server{
 		cfg:       cfg,
-		eng:       eng,
 		log:       logger,
-		reqs:      make(chan engineReq),
-		quit:      make(chan struct{}),
-		done:      make(chan struct{}),
-		batcher:   ingest.NewBatcher(cfg.IngestQueue, cfg.MaxBatch),
-		applier:   ingest.NewApplier(eng),
-		pub:       snapshot.NewPublisher(eng),
+		tree:      tree,
+		cells:     cells,
+		maxCell:   shard.MaxCellNodes(tree, cells),
 		httpStats: newHTTPStats(),
-		latency:   newLatencyHist(),
-		queueWait: newLatencyHist(),
 	}
-	go s.loop()
+	s.lanes = make([]*lane, len(cells))
+	// Clone every lane's allocator from the pristine seed before any lane
+	// restricts its copy (RestrictToPods requires a pristine state).
+	allocs := make([]alloc.Allocator, len(cells))
+	allocs[0] = cfg.Alloc
+	for i := 1; i < len(cells); i++ {
+		allocs[i] = cfg.Alloc.Clone()
+	}
+	for i, c := range cells {
+		a := allocs[i]
+		total := 0
+		if cfg.Shards > 1 {
+			a.State().RestrictToPods(c.PodLo, c.PodHi)
+			total = c.Nodes(tree)
+		}
+		eng, err := engine.New(engine.Config{
+			Alloc:            a,
+			Scenario:         sc,
+			Window:           cfg.Window,
+			DisableBackfill:  cfg.DisableBackfill,
+			ApplySpeedups:    cfg.ApplySpeedups,
+			OnFailure:        cfg.OnFailure,
+			MeasureAllocTime: true,
+			TotalNodes:       total,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.lanes[i] = newLane(i, c, eng, cfg.VirtualClock, cfg.NowFunc, cfg.IngestQueue, cfg.MaxBatch)
+	}
+	s.lane = s.lanes[0]
+	for _, l := range s.lanes {
+		go l.loop()
+	}
+	if cfg.Shards > 1 {
+		s.cross = newCoordinator(s)
+	}
 	return s, nil
 }
 
-// Close stops the engine goroutine. Operations already accepted into the
-// ingest queue are applied and answered before it stops; requests after
-// Close fail cleanly (ErrClosed / 503). Safe to call more than once.
+// Close stops the coordinator (which may hold lanes parked) and then every
+// lane. Operations already accepted into the ingest queues are applied and
+// answered before the lanes stop; requests after Close fail cleanly
+// (ErrClosed / 503). Safe to call more than once.
 func (s *Server) Close() {
-	select {
-	case <-s.quit:
-	default:
-		close(s.quit)
+	if s.cross != nil {
+		s.cross.close()
 	}
-	<-s.done
-}
-
-// loop is the engine goroutine: the only code that touches s.eng.
-func (s *Server) loop() {
-	defer close(s.done)
-	if s.cfg.VirtualClock {
-		s.loopVirtual()
-	} else {
-		s.loopWall()
+	for _, l := range s.lanes {
+		l.close()
 	}
 }
 
-func (s *Server) loopVirtual() {
-	var buf []*ingest.Op
-	steps := 0
-	for {
-		// Queued work takes priority; otherwise fast-forward one event.
-		select {
-		case first := <-s.batcher.C():
-			buf = s.applyBatch(first, buf)
-			continue
-		case r := <-s.reqs:
-			s.runAdmin(r)
-			continue
-		case <-s.quit:
-			s.shutdownDrain(buf)
-			return
-		default:
-		}
-		if _, ok := s.eng.Step(); ok {
-			// Publish periodically mid-replay so snapshot readers are
-			// never more than a bounded number of events stale.
-			if steps++; steps >= publishEveryStepsVirtual {
-				s.publishNow()
-				steps = 0
+// sharded reports whether the gateway routes across multiple lanes.
+func (s *Server) sharded() bool { return len(s.lanes) > 1 }
+
+// view returns the read-path snapshot: the lane's own View when single, the
+// merged per-lane Views plus cross-shard waiting jobs otherwise.
+func (s *Server) view() *snapshot.View {
+	if !s.sharded() {
+		return s.pub.Load()
+	}
+	views := make([]*snapshot.View, len(s.lanes))
+	for i, l := range s.lanes {
+		views[i] = l.pub.Load()
+	}
+	v := snapshot.Merge(views)
+	if waiting := s.cross.waiting(); len(waiting) > 0 {
+		// Merge built a fresh View (len > 1), so appending is safe.
+		v.Snap.Queue = append(v.Snap.Queue, waiting...)
+		sort.SliceStable(v.Snap.Queue, func(i, j int) bool {
+			a, b := v.Snap.Queue[i], v.Snap.Queue[j]
+			if a.Job.Arrival != b.Job.Arrival {
+				return a.Job.Arrival < b.Job.Arrival
 			}
-			continue
-		}
-		// Idle: make the fully-stepped state visible, then wait.
-		s.publishNow()
-		steps = 0
-		select {
-		case first := <-s.batcher.C():
-			buf = s.applyBatch(first, buf)
-		case r := <-s.reqs:
-			s.runAdmin(r)
-		case <-s.quit:
-			s.shutdownDrain(buf)
-			return
+			return a.Job.ID < b.Job.ID
+		})
+		v.Snap.QueueDepth = len(v.Snap.Queue)
+		for _, st := range waiting {
+			v.Jobs[st.Job.ID] = st
 		}
 	}
+	return v
 }
 
-func (s *Server) loopWall() {
-	var buf []*ingest.Op
-	for {
-		// Chase the real clock; publish only if time delivered events.
-		if s.eng.AdvanceTo(s.cfg.NowFunc()) > 0 {
-			s.publishNow()
-		}
-		// Storm fast path: while work is already queued, keep draining
-		// without paying for timer churn. Admin requests share the poll so
-		// they cannot starve behind a sustained ingest storm.
-		select {
-		case first := <-s.batcher.C():
-			buf = s.applyBatch(first, buf)
-			continue
-		case r := <-s.reqs:
-			s.runAdmin(r)
-			continue
-		case <-s.quit:
-			s.shutdownDrain(buf)
-			return
-		default:
-		}
-		// Flush a throttled publish once its interval has passed; otherwise
-		// fold the flush deadline into the wake timer so readers see the
-		// settled state even if no further drain arrives.
-		flushIn := time.Duration(-1)
-		if s.publishPending {
-			if flushIn = s.publishInterval() - time.Since(s.lastPublish); flushIn <= 0 {
-				s.publishNow()
-				flushIn = -1
+// routeLane picks the lane for a single-shard job.
+func (s *Server) routeLane(id int64, size int) int {
+	if s.cfg.Route == "spread" {
+		best, bestLoad := -1, 0
+		for _, l := range s.lanes {
+			if size > l.cell.Nodes(s.tree) {
+				continue
+			}
+			v := l.pub.Load()
+			load := l.batcher.Len() + v.Snap.QueueDepth
+			if best < 0 || load < bestLoad {
+				best, bestLoad = l.idx, load
 			}
 		}
-		var wake <-chan time.Time
-		var timer *time.Timer
-		if t, ok := s.eng.NextEventTime(); ok {
-			d := time.Duration((t - s.cfg.NowFunc()) * float64(time.Second))
-			if d < 0 {
-				d = 0
-			}
-			if flushIn >= 0 && flushIn < d {
-				d = flushIn
-			}
-			timer = time.NewTimer(d)
-			wake = timer.C
-		} else if flushIn >= 0 {
-			timer = time.NewTimer(flushIn)
-			wake = timer.C
-		}
-		select {
-		case first := <-s.batcher.C():
-			s.eng.AdvanceTo(s.cfg.NowFunc())
-			buf = s.applyBatch(first, buf)
-		case r := <-s.reqs:
-			s.eng.AdvanceTo(s.cfg.NowFunc())
-			s.runAdmin(r)
-		case <-wake:
-		case <-s.quit:
-			if timer != nil {
-				timer.Stop()
-			}
-			s.shutdownDrain(buf)
-			return
-		}
-		if timer != nil {
-			timer.Stop()
-		}
+		return best
 	}
+	return shard.RouteHash(s.tree, s.cells, id, size)
 }
 
-// runAdmin executes one engine closure, publishes the state it produced,
-// and only then releases the caller, so the response's effects are already
-// visible to snapshot readers.
-func (s *Server) runAdmin(r engineReq) {
-	r.fn(s.eng)
-	s.publishNow()
-	close(r.ran)
-}
-
-// publishNow captures and publishes unconditionally, records the capture
-// cost for the adaptive throttle, and resets it.
-func (s *Server) publishNow() {
-	t0 := time.Now()
-	s.pub.Publish(s.eng)
-	s.publishCost = time.Since(t0)
-	s.lastPublish = t0
-	s.publishPending = false
-}
-
-// publishInterval is the current minimum spacing between publishes while the
-// active set is over the cheap threshold: the floor, scaled up with measured
-// capture cost so capture work stays at most ~1/publishCostMultiple of
-// engine time.
-func (s *Server) publishInterval() time.Duration {
-	d := publishCostMultiple * s.publishCost
-	if d < publishMinInterval {
-		d = publishMinInterval
-	}
-	if d > publishMaxInterval {
-		d = publishMaxInterval
-	}
-	return d
-}
-
-// publishAfterDrain publishes the snapshot covering a drain — immediately
-// while the active set is small enough that capture is cheap, and on the
-// adaptive interval once capture cost (O(active jobs)) would otherwise
-// dominate ingest throughput. A deferred publish is flushed by the next
-// drain past the interval, or by the wall loop's flush timer when load
-// pauses, so reader staleness is bounded by publishInterval.
-func (s *Server) publishAfterDrain() {
-	if s.eng.ActiveJobs() <= publishCheapThreshold || time.Since(s.lastPublish) >= s.publishInterval() {
-		s.publishNow()
-		return
-	}
-	s.publishPending = true
-}
-
-// applyBatch coalesces everything queued behind first into one engine tick.
-func (s *Server) applyBatch(first *ingest.Op, buf []*ingest.Op) []*ingest.Op {
-	buf = s.batcher.Collect(first, buf)
-	s.runOps(buf)
-	return buf
-}
-
-// runOps applies a drained batch, publishes the covering snapshot (possibly
-// deferred under storm backlog; see publishAfterDrain), and releases the
-// waiting producers.
-func (s *Server) runOps(ops []*ingest.Op) {
-	for _, op := range ops {
-		tRun := time.Now()
-		s.queueWait.Observe(tRun.Sub(op.EnqueuedAt).Seconds())
-		s.applier.Apply(op)
-		s.latency.Observe(time.Since(tRun).Seconds())
-	}
-	s.observeDrain(len(ops))
-	s.publishAfterDrain()
-	for _, op := range ops {
-		op.Finish()
-	}
-}
-
-// observeDrain folds one drain into the drain-rate EWMA. The window is
-// drain-end to drain-end, which under overload — the only regime where the
-// rate is consulted — is back-to-back drains, so the sample measures true
-// apply throughput, idle gaps included otherwise (conservative: a mostly
-// idle server predicts low and hints clients to wait, which costs nothing
-// when the queue is empty anyway).
-func (s *Server) observeDrain(n int) {
-	now := time.Now()
-	if !s.lastDrainEnd.IsZero() {
-		if dt := now.Sub(s.lastDrainEnd).Seconds(); dt > 0 {
-			sample := float64(n) / dt
-			prev := math.Float64frombits(s.drainRate.Load())
-			if prev > 0 {
-				sample = 0.2*sample + 0.8*prev
-			}
-			s.drainRate.Store(math.Float64bits(sample))
-		}
-	}
-	s.lastDrainEnd = now
-}
-
-// retryAfterSeconds derives the 429 Retry-After hint from the measured drain
-// rate and the current queue depth: the predicted time for the engine to
-// drain everything already queued, rounded up to whole seconds (RFC 9110
-// delta-seconds are integral). A prediction under one second floors to 0 —
-// "retry immediately" — because the queue will have turned over long before
-// a 1-second sleep ends; this is the case the old hardcoded "1" got wrong.
-// With no drain observed yet there is nothing to extrapolate from, so the
-// hint stays at the conservative 1.
-func (s *Server) retryAfterSeconds() int {
-	rate := math.Float64frombits(s.drainRate.Load())
-	if rate <= 0 {
-		return 1
-	}
-	predicted := float64(s.batcher.Len()) / rate
-	if predicted < 1 {
-		return 0
-	}
-	secs := int(math.Ceil(predicted))
-	if secs > maxRetryAfter {
-		secs = maxRetryAfter
-	}
-	return secs
-}
-
-// maxRetryAfter caps the Retry-After hint; beyond this the prediction says
-// more about a stalled engine than about queue depth, and well-behaved
-// clients treat the hint as a minimum anyway.
-const maxRetryAfter = 60
-
-// shutdownDrain closes admission, applies every operation the queue already
-// accepted (so no acknowledged enqueue is silently dropped), and publishes
-// the final state.
-func (s *Server) shutdownDrain(buf []*ingest.Op) {
-	s.batcher.CloseEnqueue()
-	if rest := s.batcher.DrainRemaining(buf); len(rest) > 0 {
-		s.runOps(rest)
-	}
-	if s.publishPending {
-		s.publishNow()
-	}
-}
-
-// do runs fn on the engine goroutine and waits for it to finish (admin and
-// point-read path; the submit/cancel hot path uses the ingest queue).
-func (s *Server) do(fn func(e *engine.Engine)) error {
-	r := engineReq{fn: fn, ran: make(chan struct{})}
-	select {
-	case s.reqs <- r:
-		<-r.ran
-		return nil
-	case <-s.done:
-		return ErrClosed
-	}
-}
+func isOverloaded(err error) bool { return errors.Is(err, ingest.ErrOverloaded) }
 
 // Handler returns the daemon's HTTP surface with request logging and
 // per-route metrics attached.
@@ -516,6 +352,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("DELETE /v1/jobs/{id}", s.handleCancel))
 	mux.HandleFunc("GET /v1/queue", s.instrument("GET /v1/queue", s.handleQueue))
 	mux.HandleFunc("GET /v1/cluster", s.instrument("GET /v1/cluster", s.handleCluster))
+	mux.HandleFunc("GET /v1/shards", s.instrument("GET /v1/shards", s.handleShards))
 	mux.HandleFunc("POST /v1/fail", s.instrument("POST /v1/fail", s.handleFail))
 	mux.HandleFunc("POST /v1/recover", s.instrument("POST /v1/recover", s.handleRecover))
 	mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
@@ -555,7 +392,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	}
 	s.log.Info("listening", "addr", ln.Addr().String(), "policy", s.cfg.Alloc.Name(),
-		"nodes", s.cfg.Alloc.Tree().Nodes(), "clock", s.clockName())
+		"nodes", s.cfg.Alloc.Tree().Nodes(), "clock", s.clockName(), "shards", len(s.lanes))
 	return s.Serve(ctx, ln)
 }
 
@@ -631,18 +468,6 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// writeIngestError maps ingest admission failures: a full queue is 429 with
-// a drain-rate-derived Retry-After (the client should back off, never
-// block; see retryAfterSeconds), a closed server is 503.
-func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ingest.ErrOverloaded) {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-		return
-	}
-	writeError(w, http.StatusServiceUnavailable, "%v", err)
-}
-
 // submitRequest is the POST /v1/jobs body (and one element of the
 // /v1/jobs:batch jobs array). ID 0 auto-assigns; Arrival is a virtual-clock
 // timestamp honored only in virtual mode (wall mode schedules at the
@@ -679,6 +504,31 @@ func (req *submitRequest) job() trace.Job {
 	return trace.Job{ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime}
 }
 
+// assignAndRoute gives a gateway job its ID and owning lane (Shards > 1
+// only). It returns the lane index or crossOwner, and false on a duplicate
+// ID that cannot be delegated to an engine's own duplicate check.
+func (s *Server) assignAndRoute(req *submitRequest) (int, error) {
+	if req.ID == 0 {
+		req.ID = s.nextID.Add(1)
+	}
+	want := crossOwner
+	if req.Size <= s.maxCell {
+		want = s.routeLane(req.ID, req.Size)
+	}
+	got, loaded := s.owner.LoadOrStore(req.ID, want)
+	li := got.(int)
+	if loaded {
+		// Existing ID: a lane-owned duplicate is submitted to its owning
+		// lane so the engine reports the duplicate exactly as a single
+		// engine would; a cross-owned duplicate is rejected here.
+		if li == crossOwner {
+			return 0, fmt.Errorf("engine: duplicate job id %d", req.ID)
+		}
+		return li, nil
+	}
+	return li, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
@@ -691,10 +541,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	op := &ingest.Op{Kind: ingest.Submit, Job: req.job(), EnqueuedAt: time.Now()}
-	batch, err := s.batcher.Enqueue(op)
+	if !s.sharded() {
+		op := &ingest.Op{Kind: ingest.Submit, Job: req.job(), EnqueuedAt: time.Now()}
+		batch, err := s.batcher.Enqueue(op)
+		if err != nil {
+			s.writeIngestError(w, err)
+			return
+		}
+		batch.Wait()
+		if op.Err != nil {
+			writeError(w, http.StatusConflict, "%v", op.Err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, toJobJSON(op.Status))
+		return
+	}
+	li, err := s.assignAndRoute(&req)
 	if err != nil {
-		s.writeIngestError(w, err)
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if li == crossOwner {
+		st, err := s.cross.submit(req.job())
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, toJobJSON(st))
+		return
+	}
+	l := s.lanes[li]
+	op := &ingest.Op{Kind: ingest.Submit, Job: req.job(), EnqueuedAt: time.Now()}
+	batch, err := l.batcher.Enqueue(op)
+	if err != nil {
+		l.writeIngestError(w, err)
 		return
 	}
 	batch.Wait()
@@ -731,6 +611,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"batch of %d jobs exceeds ingest queue capacity %d", len(req.Jobs), max)
 		return
 	}
+	if s.sharded() {
+		s.handleBatchSharded(w, req.Jobs)
+		return
+	}
 
 	// Per-item validation never involves the engine; only valid items are
 	// enqueued, all-or-nothing, so overload rejects the whole request.
@@ -762,6 +646,86 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[idx[k]].jobJSON = &jj
 		}
 	}
+	writeBatchResults(w, results)
+}
+
+// handleBatchSharded fans a validated batch out per lane. Each lane's
+// sub-batch keeps the all-or-nothing admission contract (an overloaded lane
+// rejects its whole sub-batch with per-item errors and a Retry-After header
+// derived from that lane's drain rate); other lanes' sub-batches proceed
+// independently. Cross-shard items are enqueued with the coordinator one by
+// one.
+func (s *Server) handleBatchSharded(w http.ResponseWriter, jobs []submitRequest) {
+	results := make([]batchItemResult, len(jobs))
+	perLane := make([][]*ingest.Op, len(s.lanes))
+	perLaneIdx := make([][]int, len(s.lanes))
+	now := time.Now()
+	retryAfter := -1
+	for i := range jobs {
+		if err := s.validateSubmit(&jobs[i]); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		li, err := s.assignAndRoute(&jobs[i])
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		if li == crossOwner {
+			st, err := s.cross.submit(jobs[i].job())
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			jj := toJobJSON(st)
+			results[i].jobJSON = &jj
+			continue
+		}
+		perLane[li] = append(perLane[li], &ingest.Op{Kind: ingest.Submit, Job: jobs[i].job(), EnqueuedAt: now})
+		perLaneIdx[li] = append(perLaneIdx[li], i)
+	}
+	// Enqueue every lane's sub-batch before waiting on any, so lanes apply
+	// in parallel.
+	batches := make([]*ingest.Batch, len(s.lanes))
+	for li, ops := range perLane {
+		if len(ops) == 0 {
+			continue
+		}
+		batch, err := s.lanes[li].batcher.Enqueue(ops...)
+		if err != nil {
+			for _, i := range perLaneIdx[li] {
+				results[i].Error = err.Error()
+			}
+			if isOverloaded(err) {
+				if ra := s.lanes[li].retryAfterSeconds(); ra > retryAfter {
+					retryAfter = ra
+				}
+			}
+			continue
+		}
+		batches[li] = batch
+	}
+	for li, batch := range batches {
+		if batch == nil {
+			continue
+		}
+		batch.Wait()
+		for k, op := range perLane[li] {
+			if op.Err != nil {
+				results[perLaneIdx[li][k]].Error = op.Err.Error()
+				continue
+			}
+			jj := toJobJSON(op.Status)
+			results[perLaneIdx[li][k]].jobJSON = &jj
+		}
+	}
+	if retryAfter >= 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeBatchResults(w, results)
+}
+
+func writeBatchResults(w http.ResponseWriter, results []batchItemResult) {
 	accepted := 0
 	for i := range results {
 		if results[i].Error == "" {
@@ -779,21 +743,53 @@ func jobID(r *http.Request) (int64, error) {
 	return strconv.ParseInt(r.PathValue("id"), 10, 64)
 }
 
+// laneFor resolves a job ID to its owning lane when sharded: the recorded
+// owner, or (-1, false) for cross-owned / unknown IDs.
+func (s *Server) laneFor(id int64) (int, bool) {
+	got, ok := s.owner.Load(id)
+	if !ok {
+		return 0, false
+	}
+	li := got.(int)
+	if li == crossOwner {
+		return crossOwner, true
+	}
+	return li, true
+}
+
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id, err := jobID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job id")
 		return
 	}
+	l := s.lane
+	if s.sharded() {
+		li, ok := s.laneFor(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %d", id)
+			return
+		}
+		if li == crossOwner {
+			st, err := s.cross.status(id)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			writeJSON(w, http.StatusOK, toJobJSON(st))
+			return
+		}
+		l = s.lanes[li]
+	}
 	// Active jobs are indexed in the published snapshot; terminal and
 	// unknown IDs fall back to a point lookup on the engine goroutine.
-	if st, ok := s.pub.Load().Jobs[id]; ok {
+	if st, ok := l.pub.Load().Jobs[id]; ok {
 		writeJSON(w, http.StatusOK, toJobJSON(st))
 		return
 	}
 	var st engine.JobStatus
 	var ok bool
-	if err := s.do(func(e *engine.Engine) { st, ok = e.Status(id) }); err != nil {
+	if err := l.do(func(e *engine.Engine) { st, ok = e.Status(id) }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -810,10 +806,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job id")
 		return
 	}
+	l := s.lane
+	if s.sharded() {
+		li, ok := s.laneFor(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %d", id)
+			return
+		}
+		if li == crossOwner {
+			s.cross.cancel(w, id)
+			return
+		}
+		l = s.lanes[li]
+	}
 	op := &ingest.Op{Kind: ingest.Cancel, ID: id, EnqueuedAt: time.Now()}
-	batch, enqErr := s.batcher.Enqueue(op)
+	batch, enqErr := l.batcher.Enqueue(op)
 	if enqErr != nil {
-		s.writeIngestError(w, enqErr)
+		l.writeIngestError(w, enqErr)
 		return
 	}
 	batch.Wait()
@@ -836,7 +845,7 @@ func snapshotMeta(v *snapshot.View) (uint64, uint64, string) {
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
-	v := s.pub.Load()
+	v := s.view()
 	jobs := make([]jobJSON, 0, len(v.Snap.Queue))
 	for _, st := range v.Snap.Queue {
 		jobs = append(jobs, toJobJSON(st))
@@ -853,12 +862,13 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	v := s.pub.Load()
+	v := s.view()
 	tree := s.cfg.Alloc.Tree()
 	seq, version, published := snapshotMeta(v)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"policy":       s.cfg.Alloc.Name(),
 		"clock":        s.clockName(),
+		"shards":       len(s.lanes),
 		"radix":        tree.Radix,
 		"nodes":        v.Snap.TotalNodes,
 		"used_nodes":   v.Snap.UsedNodes,
@@ -890,46 +900,4 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"state_version": version,
 		"published_at":  published,
 	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	v := s.pub.Load()
-	mw := newMetricsWriter()
-	c := v.Snap.Counts
-	mw.counter("jigsawd_jobs_submitted_total", "Jobs accepted by the engine.", c.Submitted)
-	mw.counter("jigsawd_jobs_started_total", "Jobs that received an allocation and started.", c.Started)
-	mw.counter("jigsawd_jobs_completed_total", "Jobs that ran to completion.", c.Completed)
-	mw.counter("jigsawd_jobs_rejected_total", "Jobs that could not fit even on a drained machine.", c.Rejected)
-	mw.counter("jigsawd_jobs_cancelled_total", "Jobs cancelled while queued or running.", c.Cancelled)
-	mw.counter("jigsawd_jobs_requeued_total", "Running jobs returned to the queue by a resource failure.", c.Requeued)
-	mw.counter("jigsawd_jobs_killed_total", "Running jobs killed by a resource failure (fail policy kill).", c.Killed)
-	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", v.Snap.QueueDepth)
-	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", v.Snap.RunningJobs)
-	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", v.Snap.TotalNodes)
-	mw.gaugeInt("jigsawd_nodes_used", "Nodes counted at requested job sizes (paper's utilization definition).", v.Snap.UsedNodes)
-	mw.gaugeInt("jigsawd_nodes_free", "Nodes the allocator reports free (rounded allocations excluded).", v.Snap.FreeNodes)
-	mw.gauge("jigsawd_utilization_instant", "used/total at the current instant.", float64(v.Snap.UsedNodes)/float64(v.Snap.TotalNodes))
-	mw.gauge("jigsawd_utilization_to_now", "Average utilization from first arrival to the current clock.", v.UtilNow)
-	mw.gauge("jigsawd_utilization_steady", "Steady-state average utilization (final drain excluded), Section 5's metric.", v.UtilSteady)
-	mw.gauge("jigsawd_engine_virtual_seconds", "The engine's virtual clock.", v.Snap.Now)
-	mw.gaugeInt("jigsawd_engine_pending_events", "Undelivered arrival/completion events.", v.Snap.PendingEvents)
-	mw.gaugeInt("jigsawd_failed_nodes", "Compute nodes currently marked failed.", v.Snap.FailedNodes)
-	mw.gaugeInt("jigsawd_failed_links", "Uplinks (leaf->L2 and L2->spine) currently marked failed.", v.Snap.FailedLinks)
-	mw.gaugeInt("jigsawd_failed_switches", "Whole-switch failures (leaf, L2, or spine) currently active.", v.Snap.FailedSwitches)
-	mw.counter("jigsawd_feasibility_cache_hits_total", "Allocation attempts answered infeasible from the negative-feasibility cache without a search.", int64(v.FeasHits))
-	mw.counter("jigsawd_feasibility_cache_misses_total", "Feasibility-cache consults that fell through to a real allocator search.", int64(v.FeasMisses))
-	mw.counter("jigsawd_feasibility_cache_invalidations_total", "Times a state-version change discarded cached infeasibility verdicts.", int64(v.FeasInvalidations))
-	mw.counter("jigsawd_ingest_accepted_total", "Operations admitted to the ingest queue.", s.batcher.Accepted())
-	mw.counter("jigsawd_ingest_rejected_total", "Operations shed with 429 because the ingest queue was full.", s.batcher.Rejected())
-	mw.gaugeInt("jigsawd_ingest_queue_depth", "Operations accepted but not yet applied.", s.batcher.Len())
-	mw.gaugeInt("jigsawd_ingest_queue_capacity", "Bound on accepted-but-unapplied operations.", s.batcher.Cap())
-	mw.counter("jigsawd_snapshot_publishes_total", "Read-path snapshot publications since start.", int64(v.Seq))
-	mw.gauge("jigsawd_snapshot_state_version", "Allocation-state version the published snapshot was captured at.", float64(v.StateVersion))
-	s.latency.write(mw, "jigsawd_schedule_latency_seconds",
-		"Engine time per scheduling request (Submit/Cancel plus the event steps it triggers), measured on the engine goroutine; queue wait excluded.")
-	s.queueWait.write(mw, "jigsawd_request_queue_wait_seconds",
-		"Time a scheduling request waits in the ingest queue before the engine goroutine starts executing it.")
-	s.httpStats.write(mw, "jigsawd_http_requests_total")
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, mw.String())
 }

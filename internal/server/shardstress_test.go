@@ -1,0 +1,113 @@
+package server
+
+// Race-detector stress for the sharded gateway: concurrent clients
+// interleave submits (narrow and cross-shard), cancels, and fail/recover
+// across 3 shards, then the fabric is healed, drained, and every shard's
+// allocation-state invariants are checked. Run in CI's fail-fast race step.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestShardedStressRace(t *testing.T) {
+	s, hs := newShardedServer(t, "Jigsaw", 3, true)
+	base := hs.URL
+
+	post := func(url, body string) {
+		resp, err := http.Post(url, "application/json", newReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}
+	del := func(id int64) {
+		req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", base, id), nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+	}
+
+	const workers = 4
+	const opsPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < opsPer; i++ {
+				id := int64(w*10000 + i + 1)
+				switch rng.Intn(10) {
+				case 0:
+					// Cross-shard: wider than the widest cell (3 pods = 48).
+					post(base+"/v1/jobs", fmt.Sprintf(
+						`{"id":%d,"size":%d,"runtime":%g}`, id, 49+rng.Intn(79), 1+rng.Float64()*5))
+				case 1:
+					// Cancel an earlier job of this worker; any status is
+					// legal (it may be terminal, waiting, or unknown).
+					del(int64(w*10000 + rng.Intn(i+1)))
+				case 2:
+					post(base+"/v1/fail", fmt.Sprintf(`{"kind":"node","node":%d}`, rng.Intn(128)))
+				case 3:
+					post(base+"/v1/recover", fmt.Sprintf(`{"kind":"node","node":%d}`, rng.Intn(128)))
+				default:
+					post(base+"/v1/jobs", fmt.Sprintf(
+						`{"id":%d,"size":%d,"runtime":%g}`, id, 1+rng.Intn(16), 0.1+rng.Float64()*5))
+				}
+				// Reads race with everything above.
+				if i%10 == 0 {
+					getJSON(t, base+"/v1/cluster", &clusterJSON{})
+					getJSON(t, base+"/v1/shards", &shardsJSON{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Heal the fabric so requeued jobs and waiting wide jobs can drain.
+	for n := 0; n < 128; n++ {
+		post(base+"/v1/recover", fmt.Sprintf(`{"kind":"node","node":%d}`, n))
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		c := clusterJSON{}
+		getJSON(t, base+"/v1/cluster", &c)
+		if c.QueueDepth == 0 && c.RunningJobs == 0 && c.UsedNodes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never drained: %+v", c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Every shard's allocation state must hold its invariants, and the
+	// merged view must account for the whole healed fabric.
+	for i, l := range s.lanes {
+		var ierr error
+		if err := l.do(func(e *engine.Engine) {
+			ierr = e.Config().Alloc.State().CheckInvariants()
+		}); err != nil {
+			t.Fatalf("lane %d: %v", i, err)
+		}
+		if ierr != nil {
+			t.Fatalf("lane %d invariants: %v", i, ierr)
+		}
+	}
+	v := s.view()
+	if v.Snap.TotalNodes != 128 || v.Snap.FreeNodes != 128 || v.Snap.FailedNodes != 0 {
+		t.Fatalf("merged view after drain: total=%d free=%d failed=%d",
+			v.Snap.TotalNodes, v.Snap.FreeNodes, v.Snap.FailedNodes)
+	}
+}

@@ -1,0 +1,223 @@
+// Package shard defines the fabric decomposition the sharded daemon uses:
+// cells (contiguous pod ranges, one scheduling engine each), deterministic
+// job routing to cells, and composition of legal cross-cell placements from
+// whole pods using the partition conditions of Section 3.2.
+//
+// The package is pure logic over topology and partition — no goroutines, no
+// locks — so the concurrency-heavy gateway (internal/server) stays thin and
+// everything here is unit-testable in isolation.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// Cell is one shard's slice of the fabric: the contiguous pod range
+// [PodLo, PodHi).
+type Cell struct {
+	Index int
+	PodLo int
+	PodHi int
+}
+
+// Pods returns the number of pods in the cell.
+func (c Cell) Pods() int { return c.PodHi - c.PodLo }
+
+// Nodes returns the cell's node capacity.
+func (c Cell) Nodes(t *topology.FatTree) int { return c.Pods() * t.PodNodes() }
+
+// Plan splits the tree's pods into n contiguous cells as evenly as possible
+// (when Pods % n != 0 the first Pods%n cells get one extra pod). It errors
+// rather than panics so the daemon can reject a bad -shards flag cleanly.
+func Plan(t *topology.FatTree, n int) ([]Cell, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if n > t.Pods {
+		return nil, fmt.Errorf("shard: %d shards exceed %d pods (each cell needs a pod)", n, t.Pods)
+	}
+	per, extra := t.Pods/n, t.Pods%n
+	cells := make([]Cell, n)
+	lo := 0
+	for i := range cells {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		cells[i] = Cell{Index: i, PodLo: lo, PodHi: hi}
+		lo = hi
+	}
+	return cells, nil
+}
+
+// MaxCellNodes returns the largest cell capacity — the widest job the
+// single-shard path can take; anything larger goes cross-shard.
+func MaxCellNodes(t *topology.FatTree, cells []Cell) int {
+	m := 0
+	for _, c := range cells {
+		if n := c.Nodes(t); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// CellOf returns the index of the cell containing the pod, or -1.
+func CellOf(cells []Cell, pod int) int {
+	for _, c := range cells {
+		if pod >= c.PodLo && pod < c.PodHi {
+			return c.Index
+		}
+	}
+	return -1
+}
+
+// RouteHash picks the cell for a single-shard job: probe cells starting at
+// id mod n, take the first whose capacity fits the job's size. The result
+// depends only on (id, size, cells), so replaying a trace routes every job
+// identically — the property the shard-count differential tests rely on.
+// Returns -1 when no cell is wide enough (the job is cross-shard).
+func RouteHash(t *topology.FatTree, cells []Cell, id int64, size int) int {
+	n := len(cells)
+	start := int(uint64(id) % uint64(n))
+	for k := 0; k < n; k++ {
+		c := cells[(start+k)%n]
+		if size <= c.Nodes(t) {
+			return c.Index
+		}
+	}
+	return -1
+}
+
+// ComposeWholePods builds the legal partition that packs size nodes onto the
+// given fully-free pods: size/PodNodes full trees plus a remainder tree for
+// the rest, every full leaf connected to all L2 switches and every L2 to one
+// spine per full tree. Because the three-level geometry is square
+// (NodesPerLeaf == LeavesPerPod == L2PerPod == SpinesPerGroup == k/2), the
+// canonical index sets S = {0..NL-1} and SpineSet[i] = {0..LT-1} always
+// satisfy conditions 1-6; Verify is still run once as a guard. The caller
+// provides exactly ceil(size/PodNodes) pods and guarantees they are fully
+// free on the states the placement will be mirrored to.
+func ComposeWholePods(t *topology.FatTree, pods []int, size int) (*partition.Partition, error) {
+	pn := t.PodNodes()
+	if size < pn {
+		// Sub-pod jobs are single-cell by construction (every cell is at
+		// least one pod); this path only ever composes wider-than-a-pod
+		// shapes, whose NL/LT are the full-geometry constants.
+		return nil, fmt.Errorf("shard: size %d below whole-pod granularity %d", size, pn)
+	}
+	full, rem := size/pn, size%pn
+	need := full
+	if rem > 0 {
+		need++
+	}
+	if len(pods) != need {
+		return nil, fmt.Errorf("shard: %d pods for size %d (need %d)", len(pods), size, need)
+	}
+	nl, lt := t.NodesPerLeaf, t.LeavesPerPod
+	p := &partition.Partition{NL: nl, LT: lt, S: iota0(nl)}
+	for i := 0; i < full; i++ {
+		tr := partition.TreeAlloc{Pod: pods[i]}
+		for l := 0; l < lt; l++ {
+			tr.Leaves = append(tr.Leaves, partition.LeafAlloc{Leaf: l, N: nl})
+		}
+		p.Trees = append(p.Trees, tr)
+	}
+	lrT, remLeaf := rem/nl, rem%nl
+	if rem > 0 {
+		tr := partition.TreeAlloc{Pod: pods[full], Remainder: full > 0}
+		for l := 0; l < lrT; l++ {
+			tr.Leaves = append(tr.Leaves, partition.LeafAlloc{Leaf: l, N: nl})
+		}
+		if remLeaf > 0 {
+			tr.Leaves = append(tr.Leaves, partition.LeafAlloc{Leaf: lrT, N: remLeaf})
+			p.Sr = iota0(remLeaf)
+		}
+		p.Trees = append(p.Trees, tr)
+	}
+	if p.MultiTree() {
+		p.SpineSet = make(map[int][]int, nl)
+		for _, i := range p.S {
+			p.SpineSet[i] = iota0(lt)
+		}
+		if rem > 0 && full > 0 {
+			p.SpineSetR = make(map[int][]int, nl)
+			for _, i := range p.S {
+				n := lrT
+				if i < remLeaf {
+					n++
+				}
+				p.SpineSetR[i] = iota0(n)
+			}
+		}
+	}
+	if err := p.Verify(t); err != nil {
+		return nil, fmt.Errorf("shard: composed partition illegal: %w", err)
+	}
+	return p, nil
+}
+
+// SplitByCell splits a (not yet applied) cross-shard placement into one
+// placement per cell, keyed by cell index. Every resource of a placement is
+// attributable to exactly one pod — nodes and leaf uplinks through their
+// leaf, spine uplinks through their pod — so the slices partition the
+// original exactly and each can be mirrored onto its cell's engine
+// independently.
+func SplitByCell(t *topology.FatTree, cells []Cell, pl *topology.Placement) (map[int]*topology.Placement, error) {
+	out := map[int]*topology.Placement{}
+	slice := func(pod int) (*topology.Placement, error) {
+		ci := CellOf(cells, pod)
+		if ci < 0 {
+			return nil, fmt.Errorf("shard: pod %d outside every cell", pod)
+		}
+		s := out[ci]
+		if s == nil {
+			s = topology.NewPlacement(pl.Job, pl.Demand)
+			out[ci] = s
+		}
+		return s, nil
+	}
+	for _, n := range pl.Nodes {
+		s, err := slice(placementLeaf(t, n) / t.LeavesPerPod)
+		if err != nil {
+			return nil, err
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	for _, u := range pl.LeafUps {
+		s, err := slice(int(u.Leaf) / t.LeavesPerPod)
+		if err != nil {
+			return nil, err
+		}
+		s.LeafUps = append(s.LeafUps, u)
+	}
+	for _, u := range pl.SpineUps {
+		s, err := slice(int(u.Pod))
+		if err != nil {
+			return nil, err
+		}
+		s.SpineUps = append(s.SpineUps, u)
+	}
+	return out, nil
+}
+
+// placementLeaf maps a placement node entry to its leaf: pending entries
+// (never applied, encoded -(leaf+1)) carry the leaf directly; concrete IDs
+// divide down.
+func placementLeaf(t *topology.FatTree, n topology.NodeID) int {
+	if n < 0 {
+		return int(-n) - 1
+	}
+	return int(n) / t.NodesPerLeaf
+}
+
+func iota0(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

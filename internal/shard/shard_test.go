@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestPlanEvenAndRemainder(t *testing.T) {
+	tree := topology.MustNew(16) // 16 pods
+	for _, tc := range []struct {
+		n    int
+		want [][2]int
+	}{
+		{1, [][2]int{{0, 16}}},
+		{2, [][2]int{{0, 8}, {8, 16}}},
+		{3, [][2]int{{0, 6}, {6, 11}, {11, 16}}},
+		{16, nil}, // every cell one pod; checked structurally below
+	} {
+		cells, err := Plan(tree, tc.n)
+		if err != nil {
+			t.Fatalf("Plan(%d): %v", tc.n, err)
+		}
+		if len(cells) != tc.n {
+			t.Fatalf("Plan(%d) = %d cells", tc.n, len(cells))
+		}
+		lo := 0
+		for i, c := range cells {
+			if c.Index != i || c.PodLo != lo || c.PodHi <= c.PodLo {
+				t.Fatalf("Plan(%d) cell %d malformed: %+v", tc.n, i, c)
+			}
+			if tc.want != nil && (c.PodLo != tc.want[i][0] || c.PodHi != tc.want[i][1]) {
+				t.Fatalf("Plan(%d) cell %d = [%d, %d), want %v", tc.n, i, c.PodLo, c.PodHi, tc.want[i])
+			}
+			lo = c.PodHi
+		}
+		if lo != tree.Pods {
+			t.Fatalf("Plan(%d) covers [0, %d), want [0, %d)", tc.n, lo, tree.Pods)
+		}
+	}
+	if _, err := Plan(tree, 0); err == nil {
+		t.Fatal("Plan(0) accepted")
+	}
+	if _, err := Plan(tree, tree.Pods+1); err == nil {
+		t.Fatal("Plan(pods+1) accepted")
+	}
+}
+
+func TestRouteHashDeterministicAndCapacityAware(t *testing.T) {
+	tree := topology.MustNew(8)
+	cells, _ := Plan(tree, 3) // capacities 3, 3, 2 pods
+	pod := tree.PodNodes()
+	for id := int64(0); id < 100; id++ {
+		c1 := RouteHash(tree, cells, id, 4)
+		if c1 != RouteHash(tree, cells, id, 4) {
+			t.Fatalf("route of job %d not deterministic", id)
+		}
+		if c1 < 0 || c1 >= len(cells) {
+			t.Fatalf("job %d routed to %d", id, c1)
+		}
+	}
+	// A job wider than the last cell (2 pods) but fitting the first two is
+	// never routed to the last.
+	for id := int64(0); id < 100; id++ {
+		c := RouteHash(tree, cells, id, 2*pod+1)
+		if c != 0 && c != 1 {
+			t.Fatalf("job %d of size %d routed to cell %d (capacity %d)",
+				id, 2*pod+1, c, cells[c].Nodes(tree))
+		}
+	}
+	// Wider than every cell: cross-shard.
+	if c := RouteHash(tree, cells, 7, 3*pod+1); c != -1 {
+		t.Fatalf("cross-shard size routed to cell %d", c)
+	}
+	if MaxCellNodes(tree, cells) != 3*pod {
+		t.Fatalf("MaxCellNodes = %d, want %d", MaxCellNodes(tree, cells), 3*pod)
+	}
+}
+
+// TestComposeWholePodsLegalAllSizes sweeps every whole-pod-path size on a
+// radix-8 tree and checks the composed partition passes Verify and charges
+// exactly size nodes.
+func TestComposeWholePodsLegalAllSizes(t *testing.T) {
+	tree := topology.MustNew(8)
+	pn := tree.PodNodes()
+	allPods := make([]int, tree.Pods)
+	for i := range allPods {
+		allPods[i] = i
+	}
+	for size := pn; size <= tree.Nodes(); size++ {
+		need := (size + pn - 1) / pn
+		p, err := ComposeWholePods(tree, allPods[:need], size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if p.Size() != size {
+			t.Fatalf("size %d: partition holds %d nodes", size, p.Size())
+		}
+		pl := p.Placement(tree, topology.JobID(1), 1)
+		if pl.Size() != size {
+			t.Fatalf("size %d: placement holds %d nodes", size, pl.Size())
+		}
+		// The placement must actually apply to a pristine state.
+		s := topology.NewState(tree, 1)
+		pl.Apply(s)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("size %d: invariants after apply: %v", size, err)
+		}
+		if s.FreeNodes() != tree.Nodes()-size {
+			t.Fatalf("size %d: free = %d", size, s.FreeNodes())
+		}
+	}
+	if _, err := ComposeWholePods(tree, []int{0}, pn-1); err == nil {
+		t.Fatal("sub-pod size accepted")
+	}
+	if _, err := ComposeWholePods(tree, []int{0}, 2*pn); err == nil {
+		t.Fatal("wrong pod count accepted")
+	}
+}
+
+// TestSplitByCellPartitionsExactly splits a cross-cell placement and checks
+// the slices partition the original resource-for-resource, and that applying
+// each slice to its own restricted state succeeds with invariants intact.
+func TestSplitByCellPartitionsExactly(t *testing.T) {
+	tree := topology.MustNew(8)
+	cells, _ := Plan(tree, 4) // 2 pods each
+	pn := tree.PodNodes()
+	size := 5*pn + 3 // pods 0..5 (cells 0, 1, 2)
+	pods := []int{0, 1, 2, 3, 4, 5}
+	p, err := ComposeWholePods(tree, pods, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := p.Placement(tree, topology.JobID(42), 1)
+	slices, err := SplitByCell(tree, cells, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != 3 {
+		t.Fatalf("split into %d cells, want 3", len(slices))
+	}
+	nodes, leafUps, spineUps := 0, 0, 0
+	for ci, s := range slices {
+		if s.Job != pl.Job || s.Demand != pl.Demand {
+			t.Fatalf("cell %d slice lost identity: %+v", ci, s)
+		}
+		nodes += len(s.Nodes)
+		leafUps += len(s.LeafUps)
+		spineUps += len(s.SpineUps)
+		st := topology.NewState(tree, 1)
+		st.RestrictToPods(cells[ci].PodLo, cells[ci].PodHi)
+		s.Apply(st)
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("cell %d: invariants after slice apply: %v", ci, err)
+		}
+	}
+	if nodes != len(pl.Nodes) || leafUps != len(pl.LeafUps) || spineUps != len(pl.SpineUps) {
+		t.Fatalf("slices cover %d/%d/%d of %d/%d/%d resources",
+			nodes, leafUps, spineUps, len(pl.Nodes), len(pl.LeafUps), len(pl.SpineUps))
+	}
+	// A pod outside every cell is an error, not a silent drop.
+	if _, err := SplitByCell(tree, cells[:1], pl); err == nil {
+		t.Fatal("out-of-cell pod accepted")
+	}
+}

@@ -611,7 +611,11 @@ func (s *State) FailSpineSwitch(group, sp int) error {
 	if group < 0 || group >= s.Tree.L2PerPod || sp < 0 || sp >= s.Tree.SpinesPerGroup {
 		return failErr(fmt.Sprintf("spine switch %d/%d", group, sp), "out of range")
 	}
-	for pod := 0; pod < s.Tree.Pods; pod++ {
+	// A spine switch spans every pod, but a cell-restricted state (cell.go)
+	// owns only its pod range: out-of-cell uplinks are consumed by the
+	// restriction and belong to other shards, so the failure applies to the
+	// in-cell slice here (the other shards apply theirs).
+	for pod := s.podLo(); pod < s.podHi(); pod++ {
 		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
 		failed := s.failedSpineUp != nil && s.failedSpineUp[idx]
 		if !failed && s.spineUp[idx] != s.Capacity {
@@ -619,7 +623,7 @@ func (s *State) FailSpineSwitch(group, sp int) error {
 		}
 	}
 	s.ensureFailFlags()
-	for pod := 0; pod < s.Tree.Pods; pod++ {
+	for pod := s.podLo(); pod < s.podHi(); pod++ {
 		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
 		if !s.failedSpineUp[idx] {
 			s.takeSpineUp(pod, group, sp, s.Capacity)
@@ -642,7 +646,7 @@ func (s *State) RecoverSpineSwitch(group, sp int) error {
 	if s.failedSpineUp == nil {
 		return nil
 	}
-	for pod := 0; pod < s.Tree.Pods; pod++ {
+	for pod := s.podLo(); pod < s.podHi(); pod++ {
 		idx := (pod*s.Tree.L2PerPod+group)*s.Tree.SpinesPerGroup + sp
 		if s.failedSpineUp[idx] {
 			s.returnSpineUp(pod, group, sp, s.Capacity)

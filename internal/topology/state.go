@@ -116,6 +116,12 @@ type State struct {
 	// replays, which is what makes a rolled-back state report a fresh,
 	// never-before-seen version).
 	version uint64
+
+	// cellLo/cellHi bound the pod range this state schedules when it has
+	// been restricted to a cell (see cell.go); cellHi == 0 means
+	// unrestricted. Cell-spanning failure kinds (spine-switch) apply only to
+	// in-range pods.
+	cellLo, cellHi int
 }
 
 // journalEntry is one recorded mutation. Node entries carry the owner needed
@@ -276,6 +282,8 @@ func (s *State) Clone() *State {
 		podSpineBusy:  append([]int32(nil), s.podSpineBusy...),
 		scanQueries:   s.scanQueries,
 		version:       s.version,
+		cellLo:        s.cellLo,
+		cellHi:        s.cellHi,
 	}
 	c.failedNodes = s.failedNodes
 	c.failedLeafUps = s.failedLeafUps
