@@ -57,18 +57,20 @@ func main() {
 		workers = flag.Int("workers", 8, "closed-loop concurrency")
 		rate    = flag.Float64("rate", 1000, "open-loop request arrival rate per second")
 		dur     = flag.Duration("duration", 5*time.Second, "how long to generate load")
-		batch   = flag.Int("batch", 1, "jobs per request; >1 uses POST /v1/jobs:batch")
-		sizeMin = flag.Int("size-min", 1, "minimum job size in nodes")
-		sizeMax = flag.Int("size-max", 32, "maximum job size in nodes")
-		jobRun  = flag.Float64("job-runtime", 60, "submitted job runtime in (virtual) seconds")
-		seed    = flag.Int64("seed", 1, "job-mix RNG seed")
-		records = flag.String("records", "", "write one JSON line per request to this file")
-		asJSON  = flag.Bool("json", false, "print the summary as JSON instead of text")
+		batch    = flag.Int("batch", 1, "jobs per request; >1 uses POST /v1/jobs:batch")
+		sizeMin  = flag.Int("size-min", 1, "minimum job size in nodes")
+		sizeMax  = flag.Int("size-max", 32, "maximum job size in nodes")
+		wideFrac = flag.Float64("wide-frac", 0, "fraction of requests that submit one cross-shard-sized job (sharded targets only)")
+		jobRun   = flag.Float64("job-runtime", 60, "submitted job runtime in (virtual) seconds")
+		seed     = flag.Int64("seed", 1, "job-mix RNG seed")
+		records  = flag.String("records", "", "write one JSON line per request to this file")
+		asJSON   = flag.Bool("json", false, "print the summary as JSON instead of text")
 
 		// In-process daemon knobs (ignored with -target).
 		radix  = flag.Int("radix", 8, "in-process fat-tree radix (8=256 nodes)")
 		policy = flag.String("policy", jigsaw.SchemeJigsaw, "in-process allocation policy")
 		clock  = flag.String("clock", "wall", "in-process clock mode: wall or virtual")
+		shards = flag.Int("shards", 1, "in-process shard count (per-cell engines)")
 
 		// CI assertions.
 		minThroughput = flag.Float64("min-throughput", 0, "exit 1 if accepted jobs/s falls below this")
@@ -77,9 +79,10 @@ func main() {
 	flag.Parse()
 	if err := run(config{
 		target: *target, mode: *mode, workers: *workers, rate: *rate, dur: *dur,
-		batch: *batch, sizeMin: *sizeMin, sizeMax: *sizeMax, jobRuntime: *jobRun,
+		batch: *batch, sizeMin: *sizeMin, sizeMax: *sizeMax, wideFrac: *wideFrac,
+		jobRuntime: *jobRun,
 		seed: *seed, records: *records, asJSON: *asJSON,
-		radix: *radix, policy: *policy, clock: *clock,
+		radix: *radix, policy: *policy, clock: *clock, shards: *shards,
 		minThroughput: *minThroughput, failOnError: *failOnError,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -96,6 +99,7 @@ type config struct {
 	batch         int
 	sizeMin       int
 	sizeMax       int
+	wideFrac      float64
 	jobRuntime    float64
 	seed          int64
 	records       string
@@ -103,8 +107,13 @@ type config struct {
 	radix         int
 	policy        string
 	clock         string
+	shards        int
 	minThroughput float64
 	failOnError   bool
+
+	// Wide-job size range, discovered from the target's /v1/shards and
+	// /v1/cluster when wideFrac > 0: (max_single_shard_size, min(2x, nodes)].
+	wideMin, wideMax int
 }
 
 // record is one request's JSON line in the -records file. BackoffMS is the
@@ -121,22 +130,29 @@ type record struct {
 	// in open-loop mode (only the extension beyond any pause already
 	// pending, so summing the column gives total paused time).
 	OpenBackoffMS float64 `json:"open_backoff_ms,omitempty"`
-	Err           string  `json:"err,omitempty"`
+	// Wide marks a cross-shard-sized submission (-wide-frac); narrow and wide
+	// latencies are split in the summary so a waiting wide job's effect on
+	// single-shard traffic is measurable from the records alone.
+	Wide bool   `json:"wide,omitempty"`
+	Err  string `json:"err,omitempty"`
 }
 
 // collector accumulates per-request outcomes from all workers.
 type collector struct {
 	start time.Time
 
-	mu  sync.Mutex
-	enc *json.Encoder // nil when -records is unset
-	lat []float64     // seconds, accepted requests only
+	mu        sync.Mutex
+	enc       *json.Encoder // nil when -records is unset
+	lat       []float64     // seconds, accepted requests only
+	latNarrow []float64     // the subset from single-shard-sized requests
+	latWide   []float64     // the subset from wide (cross-shard-sized) requests
 
 	requests atomic.Int64 // total requests sent
 	accepted atomic.Int64 // requests answered 202
 	shed     atomic.Int64 // requests answered 429
 	errors   atomic.Int64 // transport errors and unexpected statuses
 	jobs     atomic.Int64 // jobs accepted across all requests
+	wideJobs atomic.Int64 // wide jobs accepted
 	backoff  atomic.Int64 // closed-loop 429 back-off, nanoseconds
 	backoffs atomic.Int64 // back-off sleeps taken
 
@@ -144,7 +160,7 @@ type collector struct {
 	openBackoffs atomic.Int64 // open-loop pauses (extensions) taken
 }
 
-func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, backoff, openBackoff time.Duration, err error) {
+func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, jobs int, wide bool, backoff, openBackoff time.Duration, err error) {
 	c.requests.Add(1)
 	switch {
 	case err != nil:
@@ -152,8 +168,16 @@ func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, 
 	case status == http.StatusAccepted:
 		c.accepted.Add(1)
 		c.jobs.Add(int64(jobs))
+		if wide {
+			c.wideJobs.Add(int64(jobs))
+		}
 		c.mu.Lock()
 		c.lat = append(c.lat, d.Seconds())
+		if wide {
+			c.latWide = append(c.latWide, d.Seconds())
+		} else {
+			c.latNarrow = append(c.latNarrow, d.Seconds())
+		}
 		c.mu.Unlock()
 	case status == http.StatusTooManyRequests:
 		c.shed.Add(1)
@@ -177,6 +201,7 @@ func (c *collector) note(worker int, sentAt time.Time, d time.Duration, status, 
 			LatencyMS:     d.Seconds() * 1e3,
 			BackoffMS:     backoff.Seconds() * 1e3,
 			OpenBackoffMS: openBackoff.Seconds() * 1e3,
+			Wide:          wide,
 		}
 		if err != nil {
 			r.Err = err.Error()
@@ -194,6 +219,9 @@ func run(cfg config) error {
 	if cfg.sizeMin < 1 || cfg.sizeMax < cfg.sizeMin {
 		return fmt.Errorf("bad size range [%d, %d]", cfg.sizeMin, cfg.sizeMax)
 	}
+	if cfg.wideFrac < 0 || cfg.wideFrac > 1 {
+		return fmt.Errorf("bad -wide-frac %g (want [0, 1])", cfg.wideFrac)
+	}
 
 	base := cfg.target
 	if base == "" {
@@ -203,6 +231,13 @@ func run(cfg config) error {
 		}
 		defer stop()
 		base = addr
+	}
+
+	if cfg.wideFrac > 0 {
+		var err error
+		if cfg.wideMin, cfg.wideMax, err = discoverWideRange(base); err != nil {
+			return err
+		}
 	}
 
 	col := &collector{start: time.Now()}
@@ -252,6 +287,7 @@ func startInProcess(cfg config) (func(), string, error) {
 	s, err := server.New(server.Config{
 		Alloc:        a,
 		VirtualClock: cfg.clock == "virtual",
+		Shards:       cfg.shards,
 	})
 	if err != nil {
 		return nil, "", err
@@ -274,25 +310,79 @@ func startInProcess(cfg config) (func(), string, error) {
 	return stop, "http://" + ln.Addr().String(), nil
 }
 
-// requestBody builds one submit request body holding cfg.batch jobs.
-func requestBody(cfg config, rng *rand.Rand) (path string, body []byte) {
+// discoverWideRange asks the target what "wider than any one shard" means:
+// /v1/shards supplies max_single_shard_size and the shard count, /v1/cluster
+// the total node count. Wide sizes are drawn uniformly from
+// (max_single_shard_size, min(2*max, nodes)] — guaranteed to take the
+// cross-shard path, bounded so most of them stay placeable.
+func discoverWideRange(base string) (lo, hi int, err error) {
+	var sh struct {
+		Count int `json:"count"`
+		Max   int `json:"max_single_shard_size"`
+	}
+	if err := getInto(base+"/v1/shards", &sh); err != nil {
+		return 0, 0, fmt.Errorf("wide-frac: probing %s/v1/shards: %w", base, err)
+	}
+	if sh.Count < 2 || sh.Max <= 0 {
+		return 0, 0, fmt.Errorf("wide-frac requires a sharded target (shard count %d)", sh.Count)
+	}
+	var cl struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := getInto(base+"/v1/cluster", &cl); err != nil {
+		return 0, 0, fmt.Errorf("wide-frac: probing %s/v1/cluster: %w", base, err)
+	}
+	hi = 2 * sh.Max
+	if hi > cl.Nodes {
+		hi = cl.Nodes
+	}
+	if hi <= sh.Max {
+		return 0, 0, fmt.Errorf("wide-frac: no cross-shard sizes exist (max shard %d, cluster %d)", sh.Max, cl.Nodes)
+	}
+	return sh.Max + 1, hi, nil
+}
+
+func getInto(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// requestBody builds one submit request body holding cfg.batch jobs — or,
+// with probability cfg.wideFrac, a single cross-shard-sized job, which always
+// goes through POST /v1/jobs (wide jobs are coordinator-owned and never
+// batch; reported wide=true so the collector can split latencies).
+func requestBody(cfg config, rng *rand.Rand) (path string, body []byte, wide bool) {
 	type jobReq struct {
 		Size    int     `json:"size"`
 		Runtime float64 `json:"runtime"`
+	}
+	if cfg.wideFrac > 0 && rng.Float64() < cfg.wideFrac {
+		b, _ := json.Marshal(jobReq{
+			Size:    cfg.wideMin + rng.Intn(cfg.wideMax-cfg.wideMin+1),
+			Runtime: cfg.jobRuntime,
+		})
+		return "/v1/jobs", b, true
 	}
 	one := func() jobReq {
 		return jobReq{Size: cfg.sizeMin + rng.Intn(cfg.sizeMax-cfg.sizeMin+1), Runtime: cfg.jobRuntime}
 	}
 	if cfg.batch == 1 {
 		b, _ := json.Marshal(one())
-		return "/v1/jobs", b
+		return "/v1/jobs", b, false
 	}
 	jobs := make([]jobReq, cfg.batch)
 	for i := range jobs {
 		jobs[i] = one()
 	}
 	b, _ := json.Marshal(map[string]any{"jobs": jobs})
-	return "/v1/jobs:batch", b
+	return "/v1/jobs:batch", b, false
 }
 
 // doRequest sends one submit and reports how many jobs it got accepted. On
@@ -313,7 +403,7 @@ func doRequest(cfg config, client *http.Client, base, path string, body []byte) 
 		}
 		return resp.StatusCode, 0, retryAfter, nil
 	}
-	if cfg.batch == 1 {
+	if path == "/v1/jobs" { // single submit (batch of 1, or a wide job)
 		return resp.StatusCode, 1, -1, nil
 	}
 	var br struct {
@@ -353,14 +443,14 @@ func runClosed(ctx context.Context, cfg config, client *http.Client, base string
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			for ctx.Err() == nil {
-				path, body := requestBody(cfg, rng)
+				path, body, wide := requestBody(cfg, rng)
 				t0 := time.Now()
 				status, jobs, retryAfter, err := doRequest(cfg, client, base, path, body)
 				var backoff time.Duration
 				if err == nil && status == http.StatusTooManyRequests {
 					backoff = backoffFor(retryAfter, rng)
 				}
-				col.note(w, t0, time.Since(t0), status, jobs, backoff, 0, err)
+				col.note(w, t0, time.Since(t0), status, jobs, wide, backoff, 0, err)
 				if backoff > 0 {
 					select {
 					case <-ctx.Done():
@@ -449,7 +539,7 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 			case <-time.After(d):
 			}
 		}
-		path, body := requestBody(cfg, rng)
+		path, body, wide := requestBody(cfg, rng)
 		select {
 		case inflight <- struct{}{}:
 		default:
@@ -470,7 +560,7 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 				pauseRngMu.Unlock()
 				openBackoff = extendPause(&pauseUntil, b, time.Now())
 			}
-			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, 0, openBackoff, err)
+			col.note(i%cfg.workers, t0, time.Since(t0), status, jobs, wide, 0, openBackoff, err)
 		}(i)
 	}
 	wg.Wait()
@@ -478,7 +568,7 @@ func runOpen(ctx context.Context, cfg config, client *http.Client, base string, 
 
 func report(cfg config, col *collector, elapsed float64) error {
 	col.mu.Lock()
-	lat := col.lat
+	lat, latNarrow, latWide := col.lat, col.latNarrow, col.latWide
 	col.mu.Unlock()
 	sort.Float64s(lat)
 	p50 := stats.Percentile(lat, 50)
@@ -491,7 +581,7 @@ func report(cfg config, col *collector, elapsed float64) error {
 	throughput := float64(col.jobs.Load()) / elapsed
 
 	if cfg.asJSON {
-		json.NewEncoder(os.Stdout).Encode(map[string]any{
+		out := map[string]any{
 			"mode":           cfg.mode,
 			"workers":        cfg.workers,
 			"batch":          cfg.batch,
@@ -510,7 +600,18 @@ func report(cfg config, col *collector, elapsed float64) error {
 			"backoffs":       col.backoffs.Load(),
 			"open_backoff_s": time.Duration(col.openBackoff.Load()).Seconds(),
 			"open_backoffs":  col.openBackoffs.Load(),
-		})
+		}
+		if cfg.wideFrac > 0 {
+			sort.Float64s(latNarrow)
+			sort.Float64s(latWide)
+			out["wide_frac"] = cfg.wideFrac
+			out["wide_jobs_accepted"] = col.wideJobs.Load()
+			out["narrow_latency_p50_ms"] = stats.Percentile(latNarrow, 50) * 1e3
+			out["narrow_latency_p99_ms"] = stats.Percentile(latNarrow, 99) * 1e3
+			out["wide_latency_p50_ms"] = stats.Percentile(latWide, 50) * 1e3
+			out["wide_latency_p99_ms"] = stats.Percentile(latWide, 99) * 1e3
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
 	} else {
 		fmt.Printf("loadgen: mode=%s workers=%d batch=%d elapsed=%.2fs\n",
 			cfg.mode, cfg.workers, cfg.batch, elapsed)
@@ -519,6 +620,15 @@ func report(cfg config, col *collector, elapsed float64) error {
 		fmt.Printf("jobs:     %d accepted -> %.1f jobs/s\n", col.jobs.Load(), throughput)
 		fmt.Printf("latency:  p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 			p50*1e3, p90*1e3, p99*1e3, max*1e3)
+		if cfg.wideFrac > 0 {
+			sort.Float64s(latNarrow)
+			sort.Float64s(latWide)
+			fmt.Printf("narrow:   %d requests  p50 %.3fms  p99 %.3fms\n", len(latNarrow),
+				stats.Percentile(latNarrow, 50)*1e3, stats.Percentile(latNarrow, 99)*1e3)
+			fmt.Printf("wide:     %d requests (%d jobs, sizes %d-%d)  p50 %.3fms  p99 %.3fms\n",
+				len(latWide), col.wideJobs.Load(), cfg.wideMin, cfg.wideMax,
+				stats.Percentile(latWide, 50)*1e3, stats.Percentile(latWide, 99)*1e3)
+		}
 		fmt.Printf("backoff:  %.3fs total across %d 429 sleeps\n",
 			time.Duration(col.backoff.Load()).Seconds(), col.backoffs.Load())
 		fmt.Printf("open:     %.3fs arrival pause across %d 429 extensions\n",

@@ -1,0 +1,145 @@
+package server
+
+// BenchmarkCrossShardMixed measures what a waiting wide job costs everyone
+// else: sustained narrow batch-submit throughput on a 4-shard radix-32
+// gateway (8192 nodes), with and without a permanently-infeasible
+// cross-shard job parked at the head of the coordinator FIFO. A pinned
+// single node makes the full-cluster wide job unplaceable forever, so every
+// capacity-freeing publish wakes the coordinator into a snapshot-guided
+// attempt — which must conclude "infeasible" without parking any lane. The
+// wide=1/wide=0 ratio is the interference bound the coordinator design is
+// accountable to (target: within 10%; see EXPERIMENTS.md BENCH_9).
+//
+// Recorded in BENCH_9.json; single-CPU caveat as BENCH_8 (goroutines
+// time-slice one core, so this reads as overhead, not parallel speedup).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func benchGet(b *testing.B, h http.Handler, path string, v any) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s: %d", path, rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchPost(b *testing.B, h http.Handler, path, body string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		b.Fatalf("POST %s: %d (%s)", path, rec.Code, rec.Body.String())
+	}
+}
+
+func benchmarkCrossShardMixed(b *testing.B, wideWaiting bool) {
+	// Wall clock: a virtual-clock lane fast-forwards every completion the
+	// moment it idles, so nothing can stay pinned. With real time, the
+	// pinner holds its node for the whole run while the short narrow jobs
+	// churn capacity — every completion publish rings the coordinator's
+	// wake, so wide=1 measures the full snapshot-guided attempt rate a
+	// waiting wide job induces.
+	s, err := New(Config{
+		Alloc:  core.NewAllocator(topology.MustNew(32)), // 8192 nodes, 32 pods
+		Shards: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	if wideWaiting {
+		// One pinned node makes the full-cluster job infeasible forever: its
+		// leaf is never fully free, and 8192 nodes need every leaf. Wait for
+		// it to actually hold the node before submitting the wide job, or
+		// the wide placement races it to the still-free cluster.
+		benchPost(b, h, "/v1/jobs", `{"size":1,"runtime":1e6}`)
+		pinDeadline := time.Now().Add(10 * time.Second)
+		for {
+			var cl struct {
+				Used int `json:"used_nodes"`
+			}
+			benchGet(b, h, "/v1/cluster", &cl)
+			if cl.Used >= 1 {
+				break
+			}
+			if time.Now().After(pinDeadline) {
+				b.Fatal("pinner job never started")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		benchPost(b, h, "/v1/jobs", `{"size":8192,"runtime":10}`)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var sh struct {
+				Cross *crossStatsJSON `json:"cross"`
+			}
+			benchGet(b, h, "/v1/shards", &sh)
+			if sh.Cross != nil && sh.Cross.Waiting == 1 && sh.Cross.Infeasible >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("wide job never settled as waiting (%+v)", sh.Cross)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Short wall-clock runtimes keep capacity churning: completions free
+	// nodes throughout the run, each one waking the coordinator.
+	const batch = 16
+	items := make([]string, batch)
+	for i := range items {
+		items[i] = `{"size":4,"runtime":0.05}`
+	}
+	body := `{"jobs":[` + strings.Join(items, ",") + `]}`
+
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/jobs:batch", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusAccepted && rec.Code != http.StatusTooManyRequests {
+				b.Fatalf("submit status %d", rec.Code)
+			}
+			// Skip ahead past the amortized jobs so ns/op means per job.
+			for i := 1; i < batch && pb.Next(); i++ {
+			}
+		}
+	})
+	b.StopTimer()
+	// The benchmark doubles as the zero-park assertion under load: every one
+	// of the coordinator attempts the narrow churn triggered must have
+	// answered from snapshots alone.
+	if parks := s.laneParks(); parks != 0 {
+		b.Fatalf("infeasible wide job parked lanes %d times under narrow load", parks)
+	}
+}
+
+func BenchmarkCrossShardMixed(b *testing.B) {
+	for _, wide := range []int{0, 1} {
+		b.Run(fmt.Sprintf("wide=%d", wide), func(b *testing.B) {
+			benchmarkCrossShardMixed(b, wide == 1)
+		})
+	}
+}

@@ -1,30 +1,49 @@
 package server
 
 // Cross-shard placement: jobs wider than the widest cell are owned by the
-// coordinator, a single goroutine that places them at whole-pod granularity
-// across every lane.
+// coordinator, a single goroutine that composes them across lanes at sub-pod
+// granularity (whole fully-free leaves; shard.ComposeSubPod).
 //
 // Placement protocol (the only code path that ever holds more than one
-// lane):
+// lane), DESIGN.md §17:
 //
-//  1. Park every lane in ascending index order (lane.park pins the lane's
-//     engine goroutine inside an admin closure). One coordinator, one fixed
-//     acquisition order, and lanes that never wait on each other: no cycle
-//     in the wait-for graph is possible, so no deadlock (DESIGN.md §16).
-//  2. Align clocks: advance every engine to the furthest shard clock (and
-//     to the job's arrival in virtual mode), so all slices start at one
-//     consistent instant.
-//  3. Collect fully-free pods in ascending pod order, compose a whole-pod
-//     partition (shard.ComposeWholePods — verified against the Section 3.2
-//     legality conditions once, spine/L2 compatibility included), split it
-//     per cell, and charge each member engine its slice via StartPlaced
-//     with the runtime computed once here.
-//  4. Release lanes in descending order; each release publishes a fresh
-//     snapshot, so readers see every slice as soon as the gateway answers.
+//  1. Candidate search on published snapshots. The coordinator reads every
+//     lane's RCU view — each carries per-pod free summaries
+//     (topology.PodSummary) exact as of its StateVersion — and runs
+//     shard.ComposeSubPod over the union. The search is pure read-side work:
+//     an infeasible answer parks ZERO lanes, so a stuck wide job costs
+//     single-shard traffic nothing while it waits.
+//  2. Member-only parking. Only the lanes whose pods the composed partition
+//     actually touches are parked, in ascending index order (lane.park pins
+//     the lane's engine goroutine inside an admin closure). One coordinator,
+//     one fixed acquisition order over a subset, and lanes that never wait
+//     on each other: no cycle in the wait-for graph is possible, so no
+//     deadlock (DESIGN.md §16-§17).
+//  3. Align member clocks: advance each member engine to the furthest member
+//     clock (and to the job's arrival in virtual mode), so all slices start
+//     at one consistent instant. Non-member lanes' clocks are untouched.
+//  4. Optimistic validation. The composition used snapshots, so each parked
+//     member is revalidated against its live engine: if its StateVersion
+//     still matches the snapshot the candidates came from, nothing moved; if
+//     not, the exact chosen resources are re-checked (leaves fully free,
+//     spine uplinks at full residual). A conflict releases every parked lane
+//     and retries the whole attempt from a fresh snapshot read, up to
+//     crossMaxValidateRetries per wake.
+//  5. Charge each member engine its slice via StartPlaced with the runtime
+//     computed once at submit, then release in descending order; each
+//     release publishes a fresh snapshot, so readers see every slice as
+//     soon as the gateway answers.
+//
+// Retries are event-driven: every lane publish that shows capacity coming
+// back (completions, cancels, recoveries) rings the coordinator's wake
+// channel *after* the publish, so the woken candidate search always sees the
+// freed capacity. A one-second failsafe rescan backstops a lost wake; it is
+// a belt-and-braces bound, not the pacing mechanism.
 //
 // Queued wide jobs are served strictly FIFO among themselves; they do not
 // backfill around each other. Single-shard traffic keeps flowing between
-// attempts — lanes are only parked for the O(pods) placement itself.
+// attempts — member lanes are only parked for the O(partition) validation
+// and charge itself, and non-members are never parked at all.
 //
 // Failures intersecting one slice follow the owning shard's failure policy
 // independently (the slice is requeued or killed as a shard-local job);
@@ -39,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/partition"
 	"repro/internal/scenario"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
@@ -46,10 +66,15 @@ import (
 	"repro/internal/trace"
 )
 
-// crossRetryInterval paces placement retries while wide jobs wait: lanes
-// drain their own queues between attempts, so completions that free pods are
-// picked up within one interval.
-const crossRetryInterval = 20 * time.Millisecond
+// crossFailsafeInterval backstops a lost wake while wide jobs wait. Normal
+// retry pacing is the event-driven wake from lane publishes; this rescan only
+// matters if every signal between two frees is somehow missed.
+const crossFailsafeInterval = time.Second
+
+// crossMaxValidateRetries bounds back-to-back reattempts when optimistic
+// validation keeps losing races against single-shard traffic. After the
+// budget the coordinator waits for the next wake instead of spinning.
+const crossMaxValidateRetries = 4
 
 type crossState int
 
@@ -75,7 +100,17 @@ type coordinator struct {
 	fifo   []*crossJob
 	jobs   map[int64]*crossJob
 	closed bool
-	placed int64
+
+	// Counters for /v1/shards and /metrics. placed counts successful
+	// placements; subpodPlaced the subset that used a partially-free pod or
+	// sub-pod tree shape (LT < LeavesPerPod). attempts counts snapshot-guided
+	// composition attempts, infeasible the ones that found no shape (and
+	// parked nothing), conflicts the optimistic-validation retries.
+	placed       int64
+	subpodPlaced int64
+	attempts     int64
+	infeasible   int64
+	conflicts    int64
 
 	wake chan struct{}
 	quit chan struct{}
@@ -92,6 +127,15 @@ func newCoordinator(s *Server) *coordinator {
 	}
 	go c.run()
 	return c
+}
+
+// signalWake nudges the placement goroutine; buffered-1 send coalesces
+// bursts. Called from submit, cancel, and every lane's onFree hook.
+func (c *coordinator) signalWake() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
 }
 
 // close stops the placement goroutine. Waiting jobs stay queued (and are
@@ -128,10 +172,7 @@ func (c *coordinator) submit(j trace.Job) (engine.JobStatus, error) {
 	c.fifo = append(c.fifo, cj)
 	c.jobs[j.ID] = cj
 	c.mu.Unlock()
-	select {
-	case c.wake <- struct{}{}:
-	default:
-	}
+	c.signalWake()
 	return engine.JobStatus{Job: j, State: engine.StateQueued, Runtime: eff}, nil
 }
 
@@ -147,11 +188,29 @@ func (c *coordinator) waiting() []engine.JobStatus {
 	return out
 }
 
-// stats reports (waiting, placed-since-start) for /v1/shards.
-func (c *coordinator) stats() (waiting int, placed int64) {
+// crossStats is the coordinator's counter snapshot for /v1/shards and
+// /metrics.
+type crossStats struct {
+	Waiting      int
+	Placed       int64
+	SubpodPlaced int64
+	Attempts     int64
+	Infeasible   int64
+	Conflicts    int64
+}
+
+// stats reports the coordinator counters.
+func (c *coordinator) stats() crossStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.fifo), c.placed
+	return crossStats{
+		Waiting:      len(c.fifo),
+		Placed:       c.placed,
+		SubpodPlaced: c.subpodPlaced,
+		Attempts:     c.attempts,
+		Infeasible:   c.infeasible,
+		Conflicts:    c.conflicts,
+	}
 }
 
 // status resolves a cross-owned job: queued and cancelled jobs answer from
@@ -185,6 +244,11 @@ func (c *coordinator) status(id int64) (engine.JobStatus, error) {
 		}
 	}
 	if len(sts) == 0 {
+		// The job reached crossRunning but no member lane knows it anymore:
+		// every slice finished and was evicted. The job is over — report it
+		// terminal, not the pre-placement "queued" this fallback used to
+		// claim (which read as a job going backwards in time).
+		st.State = engine.StateCompleted
 		return st, nil
 	}
 	return snapshot.MergeStatuses(sts), nil
@@ -212,6 +276,8 @@ func (c *coordinator) cancel(w http.ResponseWriter, id int64) {
 		}
 		st := engine.JobStatus{Job: cj.j, State: engine.StateCancelled, Runtime: cj.eff}
 		c.mu.Unlock()
+		// The head may have changed; let the placement goroutine re-examine.
+		c.signalWake()
 		writeJSON(w, http.StatusOK, toJobJSON(st))
 		return
 	case crossCancelled:
@@ -251,11 +317,12 @@ func (c *coordinator) cancel(w http.ResponseWriter, id int64) {
 	writeJSON(w, http.StatusOK, toJobJSON(snapshot.MergeStatuses(sts)))
 }
 
-// run is the placement goroutine: woken by submits, paced by the retry
-// ticker while jobs wait for pods to free up.
+// run is the placement goroutine: woken by submits, cancels, and lane
+// publishes that free capacity; the failsafe ticker only backstops a lost
+// wake while jobs wait.
 func (c *coordinator) run() {
 	defer close(c.done)
-	ticker := time.NewTicker(crossRetryInterval)
+	ticker := time.NewTicker(crossFailsafeInterval)
 	defer ticker.Stop()
 	for {
 		c.mu.Lock()
@@ -306,29 +373,178 @@ func (c *coordinator) placeAll() {
 	}
 }
 
-// place attempts one whole-pod placement. It returns true when the head is
-// disposed of (started, or found cancelled), false when it must wait.
+// place attempts one placement for the head, retrying immediately on
+// optimistic-validation conflicts up to the budget. It returns true when the
+// head is disposed of (started, or found cancelled), false when it must wait
+// for the next wake.
 func (c *coordinator) place(cj *crossJob) bool {
-	n := len(c.s.lanes)
-	engs := make([]*engine.Engine, n)
-	rels := make([]func(), n)
-	for i := 0; i < n; i++ {
-		eng, rel, err := c.s.lanes[i].park()
+	// Cheap early check: a head cancelled before this attempt must not keep
+	// the FIFO waiting on its (possibly infeasible) shape.
+	c.mu.Lock()
+	cancelled := cj.state != crossWaiting
+	c.mu.Unlock()
+	if cancelled {
+		return true
+	}
+	for try := 0; ; try++ {
+		done, conflict := c.tryPlace(cj)
+		if done {
+			return true
+		}
+		if !conflict {
+			return false
+		}
+		c.mu.Lock()
+		c.conflicts++
+		c.mu.Unlock()
+		if try >= crossMaxValidateRetries {
+			return false
+		}
+	}
+}
+
+// podLane maps a pod index to its owning lane, -1 if outside every cell.
+func (c *coordinator) podLane(pod int) int {
+	return shard.CellOf(c.s.cells, pod)
+}
+
+// laneViews loads every lane's published snapshot, forcing one fresh publish
+// on any lane whose view predates CapturePodSummaries (the Seq-0 view built
+// at construction). A lane that is closing contributes nothing.
+func (c *coordinator) laneViews() []*snapshot.View {
+	views := make([]*snapshot.View, len(c.s.lanes))
+	for i, l := range c.s.lanes {
+		v := l.pub.Load()
+		if v.Pods == nil {
+			if err := l.do(func(*engine.Engine) {}); err != nil {
+				continue
+			}
+			v = l.pub.Load()
+			if v.Pods == nil {
+				continue
+			}
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// revalidate checks, against lane li's live allocation state, that every
+// resource the composed partition takes from li's pods is still exactly as
+// the snapshot promised: chosen leaves fully free (nodes and leaf uplinks)
+// and chosen spine uplinks at full residual. Strictly per-lane — it never
+// looks at pods other lanes own.
+func (c *coordinator) revalidate(st *topology.State, p *partition.Partition, li int) bool {
+	lpp := c.s.tree.LeavesPerPod
+	for _, tr := range p.Trees {
+		if c.podLane(tr.Pod) != li {
+			continue
+		}
+		for _, lf := range tr.Leaves {
+			if !st.FullyFreeLeaf(tr.Pod*lpp + lf.Leaf) {
+				return false
+			}
+		}
+		spines := p.SpineSet
+		if tr.Remainder {
+			spines = p.SpineSetR
+		}
+		for i, set := range spines {
+			for _, sp := range set {
+				if st.SpineUpResidual(tr.Pod, i, sp) != st.Capacity {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// tryPlace runs one snapshot-guided placement attempt. Returns done=true
+// when the head is disposed of (started, cancelled, or dropped on an
+// internal error) and conflict=true when optimistic validation lost a race
+// and the caller should retry from fresh snapshots. (false, false) means
+// infeasible: wait for capacity — no lane was parked finding that out.
+func (c *coordinator) tryPlace(cj *crossJob) (done, conflict bool) {
+	c.mu.Lock()
+	c.attempts++
+	c.mu.Unlock()
+
+	// 1. Candidate search on published snapshots — no lane touched, no lane
+	// parked. Each lane's summaries are exact at its view's StateVersion.
+	views := c.laneViews()
+	var cands []topology.PodSummary
+	freeLeaves := map[int]int{}
+	for _, v := range views {
+		if v != nil {
+			cands = append(cands, v.Pods...)
+			for _, ps := range v.Pods {
+				freeLeaves[ps.Pod] = ps.FreeLeaves
+			}
+		}
+	}
+	p, err := shard.ComposeSubPod(c.s.tree, cands, cj.j.Size)
+	if err != nil {
+		c.mu.Lock()
+		c.infeasible++
+		c.mu.Unlock()
+		return false, false
+	}
+
+	// Member lanes: only the cells the partition actually touches. A
+	// placement counts as sub-pod when it could not have come from the old
+	// whole-pod path: a narrower tree width, or any chosen pod that was only
+	// partially free.
+	memberSet := map[int]bool{}
+	lpp := c.s.tree.LeavesPerPod
+	subpod := p.LT < lpp
+	for _, tr := range p.Trees {
+		li := c.podLane(tr.Pod)
+		if li < 0 || views[li] == nil {
+			// Composition handed out a pod no live lane owns — a bug, not
+			// fragmentation; refuse to spin on it.
+			c.s.log.Error("cross-shard compose chose unowned pod", "job", cj.j.ID, "pod", tr.Pod)
+			c.dropHead(cj)
+			return true, false
+		}
+		memberSet[li] = true
+		if freeLeaves[tr.Pod] < lpp {
+			subpod = true
+		}
+	}
+	members := make([]int, 0, len(memberSet))
+	for li := range memberSet {
+		members = append(members, li)
+	}
+	sort.Ints(members)
+
+	// 2. Park member lanes in ascending index order.
+	engs := make([]*engine.Engine, len(members))
+	rels := make([]func(), len(members))
+	for i, li := range members {
+		eng, rel, err := c.s.lanes[li].park()
 		if err != nil {
 			for j := i - 1; j >= 0; j-- {
 				rels[j]()
 			}
-			return false
+			return false, false
 		}
 		engs[i], rels[i] = eng, rel
 	}
 	defer func() {
-		for j := n - 1; j >= 0; j-- {
+		for j := len(members) - 1; j >= 0; j-- {
 			rels[j]()
 		}
 	}()
 
-	// One consistent instant across every shard clock.
+	c.mu.Lock()
+	if cj.state != crossWaiting { // cancelled while we were composing
+		c.mu.Unlock()
+		return true, false
+	}
+	c.mu.Unlock()
+
+	// 3. One consistent instant across the member shard clocks only.
 	var now float64
 	if c.s.cfg.VirtualClock {
 		for _, e := range engs {
@@ -346,70 +562,64 @@ func (c *coordinator) place(cj *crossJob) bool {
 		e.AdvanceTo(now)
 	}
 
-	pn := c.s.tree.PodNodes()
-	need := (cj.j.Size + pn - 1) / pn
-	pods := make([]int, 0, need)
-	for i, e := range engs {
-		st := e.Config().Alloc.State()
-		for pod := c.s.cells[i].PodLo; pod < c.s.cells[i].PodHi && len(pods) < need; pod++ {
-			if st.FullyFreePod(pod) {
-				pods = append(pods, pod)
-			}
+	// 4. Optimistic validation against the live engines. Advancing the
+	// clock may itself have started queued shard-local jobs, so this runs
+	// after the align: version fast-path first, exact resource re-check when
+	// the version moved. Any conflict releases everything and retries from
+	// a fresh snapshot read.
+	for i, li := range members {
+		if engs[i].StateVersion() == views[li].StateVersion {
+			continue
 		}
-		if len(pods) == need {
-			break
+		if !c.revalidate(engs[i].Config().Alloc.State(), p, li) {
+			return false, true
 		}
-	}
-	if len(pods) < need {
-		return false
 	}
 
-	p, err := shard.ComposeWholePods(c.s.tree, pods, cj.j.Size)
-	if err != nil {
-		// Unreachable by construction (size > maxCell >= PodNodes); refuse
-		// to spin on a bug.
-		c.s.log.Error("cross-shard compose failed", "job", cj.j.ID, "err", err)
-		c.dropHead(cj)
-		return true
-	}
+	// 5. Charge every member its slice.
 	demand := engs[0].Config().Alloc.State().Capacity
 	pl := p.Placement(c.s.tree, topology.JobID(cj.j.ID), demand)
 	slices, err := shard.SplitByCell(c.s.tree, c.s.cells, pl)
 	if err != nil {
 		c.s.log.Error("cross-shard split failed", "job", cj.j.ID, "err", err)
 		c.dropHead(cj)
-		return true
+		return true, false
 	}
 
 	c.mu.Lock()
-	if cj.state != crossWaiting { // cancelled while we were composing
+	if cj.state != crossWaiting { // cancelled while we were validating
 		c.mu.Unlock()
-		return true
+		return true, false
 	}
 	cj.state = crossRunning
-	members := make([]int, 0, len(slices))
-	for ci := range slices {
-		members = append(members, ci)
-	}
-	sort.Ints(members)
 	cj.members = members
 	c.mu.Unlock()
 
-	for _, ci := range members {
-		slice := slices[ci]
+	for i, li := range members {
+		slice := slices[li]
+		if slice == nil {
+			// Members were derived from the same partition the split walked;
+			// a missing slice is unreachable.
+			c.s.log.Error("cross-shard slice missing", "job", cj.j.ID, "lane", li)
+			continue
+		}
 		sj := cj.j
 		sj.Size = len(slice.Nodes)
-		if _, err := engs[ci].StartPlaced(sj, cj.eff, slice); err != nil {
-			// Unreachable: gateway-unique IDs, placement verified, pods free.
-			c.s.log.Error("cross-shard start failed", "job", cj.j.ID, "lane", ci, "err", err)
+		if _, err := engs[i].StartPlaced(sj, cj.eff, slice); err != nil {
+			// Unreachable: gateway-unique IDs, placement verified, resources
+			// revalidated under park.
+			c.s.log.Error("cross-shard start failed", "job", cj.j.ID, "lane", li, "err", err)
 		}
 	}
 	c.mu.Lock()
 	c.placed++
+	if subpod {
+		c.subpodPlaced++
+	}
 	c.mu.Unlock()
 	c.s.log.Info("cross-shard placement", "job", cj.j.ID, "size", cj.j.Size,
-		"pods", need, "lanes", len(members), "at", now)
-	return true
+		"trees", len(p.Trees), "lt", p.LT, "lanes", len(members), "subpod", subpod, "at", now)
+	return true, false
 }
 
 // dropHead marks an unplaceable head cancelled so the FIFO keeps moving;

@@ -48,6 +48,25 @@ type lane struct {
 	publishPending bool
 	publishCost    time.Duration
 
+	// onFree, set once before the loop starts (sharded servers point it at
+	// the cross-shard coordinator's wake), is called from the engine
+	// goroutine after a publish whose snapshot shows capacity coming back:
+	// free nodes up, or failed resources down. Completions, cancels, and
+	// recoveries all publish, so every event that could unblock a waiting
+	// wide job rings the bell — and it rings only *after* the publish, so
+	// the woken coordinator's snapshot read always sees the freed capacity.
+	onFree func()
+	// lastFreeNodes / lastFailedRes are the previous published snapshot's
+	// figures, for the onFree edge detection. Engine-goroutine only.
+	lastFreeNodes int
+	lastFailedRes int
+
+	// parks counts coordinator park() calls on this lane — the price wide
+	// jobs charge this lane's single-shard traffic. Exposed in metrics; the
+	// zero-park-on-infeasible test pins that snapshot-guided candidate
+	// search keeps it at zero when a wide job cannot place.
+	parks atomic.Int64
+
 	latency   *latencyHist // engine time per scheduling request
 	queueWait *latencyHist // wait in the ingest queue before the op runs
 
@@ -220,13 +239,22 @@ func (l *lane) runAdmin(r engineReq) {
 }
 
 // publishNow captures and publishes unconditionally, records the capture
-// cost for the adaptive throttle, and resets it.
+// cost for the adaptive throttle, and resets it. When the published
+// snapshot shows freed capacity, it signals onFree after the publish (see
+// the field comment for why the order matters).
 func (l *lane) publishNow() {
 	t0 := time.Now()
-	l.pub.Publish(l.eng)
+	v := l.pub.Publish(l.eng)
 	l.publishCost = time.Since(t0)
 	l.lastPublish = t0
 	l.publishPending = false
+	if l.onFree != nil {
+		failed := v.Snap.FailedNodes + v.Snap.FailedLinks + v.Snap.FailedSwitches
+		if v.Snap.FreeNodes > l.lastFreeNodes || failed < l.lastFailedRes {
+			l.onFree()
+		}
+		l.lastFreeNodes, l.lastFailedRes = v.Snap.FreeNodes, failed
+	}
 }
 
 // publishInterval is the current minimum spacing between publishes while the
@@ -375,6 +403,7 @@ func (l *lane) park() (*engine.Engine, func(), error) {
 	select {
 	case l.reqs <- r:
 		<-got
+		l.parks.Add(1)
 		return eng, func() { close(rel); <-r.ran }, nil
 	case <-l.done:
 		return nil, nil, ErrClosed

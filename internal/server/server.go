@@ -267,11 +267,19 @@ func New(cfg Config) (*Server, error) {
 		s.lanes[i] = newLane(i, c, eng, cfg.VirtualClock, cfg.NowFunc, cfg.IngestQueue, cfg.MaxBatch)
 	}
 	s.lane = s.lanes[0]
+	if cfg.Shards > 1 {
+		// The coordinator exists before any lane loop starts so every lane
+		// can publish pod summaries from its first real snapshot on and ring
+		// the coordinator whenever a publish shows freed capacity. Its run
+		// goroutine just blocks on the wake channel until the first submit.
+		s.cross = newCoordinator(s)
+		for _, l := range s.lanes {
+			l.pub.CapturePodSummaries()
+			l.onFree = s.cross.signalWake
+		}
+	}
 	for _, l := range s.lanes {
 		go l.loop()
-	}
-	if cfg.Shards > 1 {
-		s.cross = newCoordinator(s)
 	}
 	return s, nil
 }

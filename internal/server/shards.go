@@ -51,8 +51,16 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		"max_single_shard_size": s.maxCell,
 	}
 	if s.cross != nil {
-		waiting, placed := s.cross.stats()
-		resp["cross"] = map[string]any{"waiting": waiting, "placed": placed}
+		cs := s.cross.stats()
+		resp["cross"] = map[string]any{
+			"waiting":       cs.Waiting,
+			"placed":        cs.Placed,
+			"subpod_placed": cs.SubpodPlaced,
+			"attempts":      cs.Attempts,
+			"infeasible":    cs.Infeasible,
+			"conflicts":     cs.Conflicts,
+			"parks":         s.laneParks(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -158,10 +166,24 @@ func (s *Server) writeShardMetrics(mw *metricsWriter, views []*snapshot.View) {
 	series("jigsawd_shard_snapshot_publishes_total", "Snapshot publications by the shard.",
 		func(i int, v *snapshot.View) string { return itoa(int(views[i].Seq)) })
 	if s.cross != nil {
-		waiting, placed := s.cross.stats()
-		mw.gaugeInt("jigsawd_cross_shard_waiting", "Cross-shard jobs waiting for whole pods.", waiting)
-		mw.counter("jigsawd_cross_shard_placed_total", "Cross-shard placements since start.", placed)
+		cs := s.cross.stats()
+		mw.gaugeInt("jigsawd_cross_shard_waiting", "Cross-shard jobs waiting for capacity.", cs.Waiting)
+		mw.counter("jigsawd_cross_shard_placed_total", "Cross-shard placements since start.", cs.Placed)
+		mw.counter("jigsawd_cross_shard_subpod_placed_total", "Cross-shard placements that used partially-free pods or sub-pod tree shapes.", cs.SubpodPlaced)
+		mw.counter("jigsawd_cross_shard_attempts_total", "Snapshot-guided cross-shard composition attempts.", cs.Attempts)
+		mw.counter("jigsawd_cross_shard_infeasible_total", "Attempts that found no legal shape (and parked no lane).", cs.Infeasible)
+		mw.counter("jigsawd_cross_shard_conflicts_total", "Optimistic-validation retries after losing a race to shard-local traffic.", cs.Conflicts)
+		mw.counter("jigsawd_cross_shard_parks_total", "Lane parks performed by the coordinator, summed over lanes.", s.laneParks())
 	}
+}
+
+// laneParks sums the coordinator's park() calls across lanes.
+func (s *Server) laneParks() int64 {
+	var n int64
+	for _, l := range s.lanes {
+		n += l.parks.Load()
+	}
+	return n
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

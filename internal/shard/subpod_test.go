@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// freePodSummaries builds summaries for a pristine tree: every leaf free,
+// every spine uplink at full residual.
+func freePodSummaries(tree *topology.FatTree) []topology.PodSummary {
+	full := uint64(1)<<tree.LeavesPerPod - 1
+	out := make([]topology.PodSummary, tree.Pods)
+	for i := range out {
+		out[i] = topology.PodSummary{Pod: i, FreeLeaves: tree.LeavesPerPod, LeafMask: full}
+	}
+	return out
+}
+
+// TestComposeSubPodMatchesWholePodsOnFreePods pins the exact-reproduction
+// property: on an all-fully-free candidate set, ComposeSubPod must emit the
+// same partition ComposeWholePods does, for every size the whole-pod path
+// accepts. This is what lets the sharded differential suites hold bit-for-bit
+// after the coordinator switched composers.
+func TestComposeSubPodMatchesWholePodsOnFreePods(t *testing.T) {
+	tree := topology.MustNew(8)
+	pn := tree.PodNodes()
+	allPods := make([]int, tree.Pods)
+	for i := range allPods {
+		allPods[i] = i
+	}
+	cands := freePodSummaries(tree)
+	for size := pn; size <= tree.Nodes(); size++ {
+		need := (size + pn - 1) / pn
+		want, err := ComposeWholePods(tree, allPods[:need], size)
+		if err != nil {
+			t.Fatalf("whole pods, size %d: %v", size, err)
+		}
+		got, err := ComposeSubPod(tree, cands, size)
+		if err != nil {
+			t.Fatalf("sub pod, size %d: %v", size, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("size %d: sub-pod partition diverged\n got: %+v\nwant: %+v", size, got, want)
+		}
+	}
+}
+
+// TestComposeSubPodRejects covers the error surface: sub-leaf sizes and
+// candidate sets with no usable leaves.
+func TestComposeSubPodRejects(t *testing.T) {
+	tree := topology.MustNew(8)
+	if _, err := ComposeSubPod(tree, freePodSummaries(tree), tree.NodesPerLeaf-1); err == nil {
+		t.Fatal("sub-leaf size accepted")
+	}
+	if _, err := ComposeSubPod(tree, nil, tree.PodNodes()); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+	busy := make([]topology.PodSummary, tree.Pods)
+	for i := range busy {
+		busy[i] = topology.PodSummary{Pod: i} // zero free leaves
+	}
+	if _, err := ComposeSubPod(tree, busy, tree.NodesPerLeaf); err == nil {
+		t.Fatal("fully-busy candidate set accepted")
+	}
+}
+
+// TestComposeSubPodBeyondWholePods exercises a placement the whole-pod path
+// can never make: every pod half-occupied, a wide job composed purely out of
+// sub-pod trees.
+func TestComposeSubPodBeyondWholePods(t *testing.T) {
+	tree := topology.MustNew(8) // 8 pods, 4 leaves/pod, 16 nodes/pod
+	lpp, nl := tree.LeavesPerPod, tree.NodesPerLeaf
+	cands := make([]topology.PodSummary, tree.Pods)
+	for i := range cands {
+		// Leaves 1 and 3 free in every pod; no pod is fully free.
+		cands[i] = topology.PodSummary{Pod: i, FreeLeaves: 2, LeafMask: 0b1010}
+	}
+	size := 2 * tree.PodNodes() // would need 2 fully-free pods; there are none
+	p, err := ComposeSubPod(tree, cands, size)
+	if err != nil {
+		t.Fatalf("sub-pod composition: %v", err)
+	}
+	if err := p.Verify(tree); err != nil {
+		t.Fatalf("composed partition illegal: %v", err)
+	}
+	if p.Size() != size {
+		t.Fatalf("partition holds %d nodes, want %d", p.Size(), size)
+	}
+	if p.LT >= lpp {
+		t.Fatalf("LT = %d, expected a sub-pod tree width", p.LT)
+	}
+	for _, tr := range p.Trees {
+		for _, lf := range tr.Leaves {
+			if cands[tr.Pod].LeafMask&(1<<lf.Leaf) == 0 {
+				t.Fatalf("pod %d leaf %d chosen but not free in the summary", tr.Pod, lf.Leaf)
+			}
+			if lf.N != nl {
+				t.Fatalf("pod %d leaf %d partially charged (%d)", tr.Pod, lf.Leaf, lf.N)
+			}
+		}
+	}
+}
+
+// randSummaries builds a random fragmentation pattern; spineFree masks, when
+// present, always contain the full half mask's low bits so condition 5 stays
+// satisfiable often enough for the success paths to be exercised.
+func randSummaries(tree *topology.FatTree, rng *rand.Rand) []topology.PodSummary {
+	half := tree.HalfMask()
+	out := make([]topology.PodSummary, tree.Pods)
+	for i := range out {
+		mask := rng.Uint64() & half
+		out[i] = topology.PodSummary{Pod: i, LeafMask: mask, FreeLeaves: bits.OnesCount64(mask)}
+		if rng.Intn(3) == 0 {
+			sf := make([]uint64, tree.L2PerPod)
+			for g := range sf {
+				sf[g] = rng.Uint64() & half
+			}
+			out[i].SpineFree = sf
+		}
+	}
+	return out
+}
+
+// TestComposeSubPodProperties is the property sweep: over random candidate
+// sets and sizes, every success must Verify, charge exactly the requested
+// size, and stay within the summarized resources (leaves and spine uplinks);
+// and whenever ceil(size/PodNodes) fully-free pods exist, composition MUST
+// succeed — the strictly-more-placements guarantee over the whole-pod path.
+func TestComposeSubPodProperties(t *testing.T) {
+	tree := topology.MustNew(8)
+	pn, lpp := tree.PodNodes(), tree.LeavesPerPod
+	rng := rand.New(rand.NewSource(9))
+	successes, mustSucceed := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		cands := randSummaries(tree, rng)
+		size := tree.NodesPerLeaf * (1 + rng.Intn(tree.Nodes()/tree.NodesPerLeaf))
+		if rng.Intn(4) == 0 {
+			size += rng.Intn(tree.NodesPerLeaf) // exercise remainder leaves
+		}
+		free := 0
+		for _, c := range cands {
+			if c.FreeLeaves == lpp && c.SpineFree == nil {
+				free++
+			}
+		}
+		p, err := ComposeSubPod(tree, cands, size)
+		if err != nil {
+			if need := (size + pn - 1) / pn; free >= need {
+				t.Fatalf("iter %d: size %d infeasible with %d fully-free pods (whole-pod path would place it)",
+					iter, size, free)
+			}
+			continue
+		}
+		successes++
+		if free >= (size+pn-1)/pn {
+			mustSucceed++
+		}
+		if verr := p.Verify(tree); verr != nil {
+			t.Fatalf("iter %d: composed partition illegal: %v", iter, verr)
+		}
+		if p.Size() != size {
+			t.Fatalf("iter %d: partition holds %d nodes, want %d", iter, p.Size(), size)
+		}
+		for _, tr := range p.Trees {
+			c := cands[tr.Pod]
+			for _, lf := range tr.Leaves {
+				if c.LeafMask&(1<<lf.Leaf) == 0 {
+					t.Fatalf("iter %d: pod %d leaf %d not free in summary", iter, tr.Pod, lf.Leaf)
+				}
+			}
+			spines := p.SpineSet
+			if tr.Remainder {
+				spines = p.SpineSetR
+			}
+			if c.SpineFree != nil {
+				for g, set := range spines {
+					for _, sp := range set {
+						if c.SpineFree[g]&(1<<sp) == 0 {
+							t.Fatalf("iter %d: pod %d group %d spine %d not free in summary",
+								iter, tr.Pod, g, sp)
+						}
+					}
+				}
+			}
+		}
+	}
+	if successes == 0 || mustSucceed == 0 {
+		t.Fatalf("sweep never exercised the success paths (successes=%d, mustSucceed=%d)", successes, mustSucceed)
+	}
+}
+
+// TestComposeSubPodAgainstLiveState drives composition against a real
+// allocation state as it fragments: summaries are captured from the state,
+// composed placements applied, some released, invariants checked throughout.
+// A composition that reached outside its summaries would double-charge a
+// node or drive a residual negative and fail the invariant check.
+func TestComposeSubPodAgainstLiveState(t *testing.T) {
+	tree := topology.MustNew(8)
+	s := topology.NewState(tree, 1)
+	rng := rand.New(rand.NewSource(17))
+	type live struct{ pl *topology.Placement }
+	var running []live
+	placedTotal := 0
+	for iter := 0; iter < 300; iter++ {
+		if len(running) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(running))
+			running[i].pl.Release(s)
+			running = append(running[:i], running[i+1:]...)
+		} else {
+			cands := s.PodSummaries(nil)
+			size := tree.NodesPerLeaf * (1 + rng.Intn(8))
+			p, err := ComposeSubPod(tree, cands, size)
+			if err != nil {
+				continue
+			}
+			pl := p.Placement(tree, topology.JobID(iter+1), 1)
+			pl.Apply(s)
+			running = append(running, live{pl})
+			placedTotal++
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("iter %d: invariants: %v", iter, err)
+		}
+	}
+	if placedTotal < 20 {
+		t.Fatalf("only %d placements exercised", placedTotal)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/topology"
 )
 
 // View is one immutable observation of the engine. Fields are never
@@ -44,6 +45,13 @@ type View struct {
 	// engine for those.
 	Jobs map[int64]engine.JobStatus
 
+	// Pods holds the per-pod free-capacity summaries (cell-range pods only)
+	// the cross-shard coordinator's candidate search reads, exact as of
+	// StateVersion. Nil unless the publisher opted in with
+	// CapturePodSummaries — sharded lanes do, the single-engine daemon
+	// doesn't pay for what it can't use.
+	Pods []topology.PodSummary
+
 	// UtilNow is the average utilization from first arrival to Snap.Now;
 	// UtilSteady is the steady-state figure (final drain excluded).
 	UtilNow, UtilSteady float64
@@ -57,23 +65,35 @@ type View struct {
 type Publisher struct {
 	cur atomic.Pointer[View]
 	seq uint64
+	// pods makes capture include per-pod free summaries (View.Pods).
+	pods bool
 }
+
+// CapturePodSummaries makes every subsequent Publish include View.Pods.
+// Call it once, before the engine goroutine starts publishing (the sharded
+// server does, between lane construction and loop start); the initial
+// Seq-0 View predates the call and carries no summaries, which readers must
+// treat as "not captured yet", not "no free pods".
+func (p *Publisher) CapturePodSummaries() { p.pods = true }
 
 // NewPublisher starts with an empty published View (Seq 0) built from the
 // engine's initial state, so readers never observe nil.
 func NewPublisher(e *engine.Engine) *Publisher {
 	p := &Publisher{}
-	v := capture(e)
+	v := p.capture(e)
 	p.cur.Store(v)
 	return p
 }
 
 // capture builds a View from the engine. Engine-goroutine only.
-func capture(e *engine.Engine) *View {
+func (p *Publisher) capture(e *engine.Engine) *View {
 	v := &View{
 		PublishedAt:  time.Now(),
 		StateVersion: e.StateVersion(),
 		Snap:         e.Snapshot(),
+	}
+	if p.pods {
+		v.Pods = e.PodSummaries(nil)
 	}
 	v.UtilNow = e.UtilizationTo(v.Snap.Now)
 	v.UtilSteady = e.SteadyUtilization()
@@ -95,7 +115,7 @@ func capture(e *engine.Engine) *View {
 // Only the engine goroutine may call it; the swap is the release edge that
 // makes the drain's effects visible to readers.
 func (p *Publisher) Publish(e *engine.Engine) *View {
-	v := capture(e)
+	v := p.capture(e)
 	p.seq++
 	v.Seq = p.seq
 	p.cur.Store(v)
