@@ -16,7 +16,8 @@
 // -fail-trace replays a fault-injection file (see internal/failtrace for the
 // format) inside every simulation cell, measuring the schedulers on a
 // degraded fabric; -fail-policy picks what happens to running jobs hit by a
-// failure (requeue, kill, or shrink-none).
+// failure (requeue, kill, or shrink — shrink additionally needs -elastic and
+// jobs that declare min_nodes, and falls back to requeue for rigid jobs).
 package main
 
 import (
@@ -35,7 +36,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of text tables (fig6, table2, fig7, fig8, table3)")
 	workers := flag.Int("workers", 0, "concurrent simulation cells; 0 = one per CPU (output is identical for any value)")
 	failTrace := flag.String("fail-trace", "", "fault-injection trace replayed in every simulation cell (see internal/failtrace)")
-	failPolicy := flag.String("fail-policy", "requeue", "what happens to running jobs hit by a failure: requeue|kill|shrink-none")
+	failPolicy := flag.String("fail-policy", "requeue", "what happens to running jobs hit by a failure: requeue|kill|shrink")
+	elastic := flag.Bool("elastic", false, "enable malleability paths for jobs declaring elastic fields (needed by -fail-policy shrink)")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Out: os.Stdout, Workers: *workers, MeasureTime: true}
@@ -53,6 +55,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.FailPolicy = policy
+	cfg.Elastic = *elastic
 	runners := map[string]func(experiments.Config) error{
 		"all":    experiments.All,
 		"table1": experiments.Table1,

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	jigsawd [-addr :8080] [-radix 16] [-policy jigsaw] [-clock wall|virtual]
-//	        [-scenario None] [-window 50] [-no-backfill] [-fail-policy requeue] [-v]
+//	        [-scenario None] [-window 50] [-no-backfill] [-fail-policy requeue]
+//	        [-elastic] [-v]
 //
 // With -clock virtual the daemon fast-forwards through events whenever it is
 // idle, which replays a submitted trace as fast as the allocator can place
@@ -48,19 +49,20 @@ func main() {
 		scenarioN  = flag.String("scenario", "None", "speed-up scenario applied to isolated jobs: None|5%|10%|20%|V2|Random")
 		window     = flag.Int("window", jigsaw.DefaultWindow, "EASY backfill lookahead window")
 		noBackfill = flag.Bool("no-backfill", false, "disable EASY backfilling (pure FIFO)")
-		failPolicy = flag.String("fail-policy", "requeue", "what happens to running jobs hit by POST /v1/fail: requeue|kill|shrink-none")
+		failPolicy = flag.String("fail-policy", "requeue", "what happens to running jobs hit by POST /v1/fail: requeue|kill|shrink")
+		elastic    = flag.Bool("elastic", false, "accept elastic jobs (min_nodes/max_nodes/priority/deadline): shrink under -fail-policy shrink, grow into idle capacity, deadline admission, priority preemption")
 		shards     = flag.Int("shards", 1, "split the fabric into this many per-cell engines (1 = classic single engine)")
 		route      = flag.String("route", "hash", "single-shard routing policy: hash (deterministic) or spread (least-loaded)")
 		verbose    = flag.Bool("v", false, "log every request")
 	)
 	flag.Parse()
-	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *failPolicy, *shards, *route, *verbose); err != nil {
+	if err := run(*addr, *radix, *policy, *clock, *scenarioN, *window, *noBackfill, *failPolicy, *elastic, *shards, *route, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "jigsawd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill bool, failPolicy string, shards int, route string, verbose bool) error {
+func run(addr string, radix int, policy, clock, scenarioName string, window int, noBackfill bool, failPolicy string, elastic bool, shards int, route string, verbose bool) error {
 	scheme, err := canonicalScheme(policy)
 	if err != nil {
 		return err
@@ -103,6 +105,7 @@ func run(addr string, radix int, policy, clock, scenarioName string, window int,
 		Window:          window,
 		DisableBackfill: noBackfill,
 		OnFailure:       onFailure,
+		Elastic:         elastic,
 		VirtualClock:    virtual,
 		Logger:          logger,
 		Shards:          shards,

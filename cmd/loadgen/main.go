@@ -61,6 +61,7 @@ func main() {
 		sizeMin  = flag.Int("size-min", 1, "minimum job size in nodes")
 		sizeMax  = flag.Int("size-max", 32, "maximum job size in nodes")
 		wideFrac = flag.Float64("wide-frac", 0, "fraction of requests that submit one cross-shard-sized job (sharded targets only)")
+		elasticFrac = flag.Float64("elastic-frac", 0, "fraction of jobs submitted with elastic bounds (min_nodes=size/2, max_nodes=2*size) and alternating priority; requires an elastic target (in-process daemons turn -elastic on automatically)")
 		jobRun   = flag.Float64("job-runtime", 60, "submitted job runtime in (virtual) seconds")
 		seed     = flag.Int64("seed", 1, "job-mix RNG seed")
 		records  = flag.String("records", "", "write one JSON line per request to this file")
@@ -80,7 +81,8 @@ func main() {
 	if err := run(config{
 		target: *target, mode: *mode, workers: *workers, rate: *rate, dur: *dur,
 		batch: *batch, sizeMin: *sizeMin, sizeMax: *sizeMax, wideFrac: *wideFrac,
-		jobRuntime: *jobRun,
+		elasticFrac: *elasticFrac,
+		jobRuntime:  *jobRun,
 		seed: *seed, records: *records, asJSON: *asJSON,
 		radix: *radix, policy: *policy, clock: *clock, shards: *shards,
 		minThroughput: *minThroughput, failOnError: *failOnError,
@@ -100,6 +102,7 @@ type config struct {
 	sizeMin       int
 	sizeMax       int
 	wideFrac      float64
+	elasticFrac   float64
 	jobRuntime    float64
 	seed          int64
 	records       string
@@ -114,6 +117,9 @@ type config struct {
 	// Wide-job size range, discovered from the target's /v1/shards and
 	// /v1/cluster when wideFrac > 0: (max_single_shard_size, min(2x, nodes)].
 	wideMin, wideMax int
+	// clusterNodes caps elastic max_nodes, discovered from /v1/cluster when
+	// elasticFrac > 0 (the server rejects max_nodes above the machine).
+	clusterNodes int
 }
 
 // record is one request's JSON line in the -records file. BackoffMS is the
@@ -222,6 +228,9 @@ func run(cfg config) error {
 	if cfg.wideFrac < 0 || cfg.wideFrac > 1 {
 		return fmt.Errorf("bad -wide-frac %g (want [0, 1])", cfg.wideFrac)
 	}
+	if cfg.elasticFrac < 0 || cfg.elasticFrac > 1 {
+		return fmt.Errorf("bad -elastic-frac %g (want [0, 1])", cfg.elasticFrac)
+	}
 
 	base := cfg.target
 	if base == "" {
@@ -238,6 +247,15 @@ func run(cfg config) error {
 		if cfg.wideMin, cfg.wideMax, err = discoverWideRange(base); err != nil {
 			return err
 		}
+	}
+	if cfg.elasticFrac > 0 {
+		var cl struct {
+			Nodes int `json:"nodes"`
+		}
+		if err := getInto(base+"/v1/cluster", &cl); err != nil {
+			return fmt.Errorf("elastic-frac: probing %s/v1/cluster: %w", base, err)
+		}
+		cfg.clusterNodes = cl.Nodes
 	}
 
 	col := &collector{start: time.Now()}
@@ -288,6 +306,7 @@ func startInProcess(cfg config) (func(), string, error) {
 		Alloc:        a,
 		VirtualClock: cfg.clock == "virtual",
 		Shards:       cfg.shards,
+		Elastic:      cfg.elasticFrac > 0,
 	})
 	if err != nil {
 		return nil, "", err
@@ -360,18 +379,36 @@ func getInto(url string, v any) error {
 // batch; reported wide=true so the collector can split latencies).
 func requestBody(cfg config, rng *rand.Rand) (path string, body []byte, wide bool) {
 	type jobReq struct {
-		Size    int     `json:"size"`
-		Runtime float64 `json:"runtime"`
+		Size     int     `json:"size"`
+		Runtime  float64 `json:"runtime"`
+		MinNodes int     `json:"min_nodes,omitempty"`
+		MaxNodes int     `json:"max_nodes,omitempty"`
+		Priority int     `json:"priority,omitempty"`
+	}
+	// elasticize stamps malleability bounds on a job with probability
+	// cfg.elasticFrac: shrinkable to half size, growable to double (capped at
+	// the cluster), half of them at priority 1 to exercise preemption.
+	elasticize := func(j jobReq) jobReq {
+		if cfg.elasticFrac <= 0 || rng.Float64() >= cfg.elasticFrac {
+			return j
+		}
+		j.MinNodes = (j.Size + 1) / 2
+		j.MaxNodes = 2 * j.Size
+		if cfg.clusterNodes > 0 && j.MaxNodes > cfg.clusterNodes {
+			j.MaxNodes = cfg.clusterNodes
+		}
+		j.Priority = rng.Intn(2)
+		return j
 	}
 	if cfg.wideFrac > 0 && rng.Float64() < cfg.wideFrac {
-		b, _ := json.Marshal(jobReq{
+		b, _ := json.Marshal(elasticize(jobReq{
 			Size:    cfg.wideMin + rng.Intn(cfg.wideMax-cfg.wideMin+1),
 			Runtime: cfg.jobRuntime,
-		})
+		}))
 		return "/v1/jobs", b, true
 	}
 	one := func() jobReq {
-		return jobReq{Size: cfg.sizeMin + rng.Intn(cfg.sizeMax-cfg.sizeMin+1), Runtime: cfg.jobRuntime}
+		return elasticize(jobReq{Size: cfg.sizeMin + rng.Intn(cfg.sizeMax-cfg.sizeMin+1), Runtime: cfg.jobRuntime})
 	}
 	if cfg.batch == 1 {
 		b, _ := json.Marshal(one())

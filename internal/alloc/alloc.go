@@ -4,7 +4,10 @@
 // scheduler drives it from job arrival and completion events.
 package alloc
 
-import "repro/internal/topology"
+import (
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
 
 // Allocator is a job-placement policy bound to an allocation state.
 //
@@ -59,6 +62,24 @@ type TxnAllocator interface {
 	Rollback()
 	// Commit keeps every mutation since Begin and ends the transaction.
 	Commit()
+}
+
+// PartitionFinder is the optional extension for allocators whose placements
+// are structured Section 3.2 partitions (the Jigsaw family: core, Jigsaw+S,
+// LC+S). FindJobPartition runs the allocator's search for the job at the
+// given size WITHOUT charging the result, so a scheduler can inspect — and
+// independently re-verify with partition.Verify — the exact shape a
+// subsequent same-state Allocate would commit. The elastic engine uses it as
+// the legality guard on shrink/grow moves: a resize is only committed when
+// the found partition passes verification. Implementations are deterministic,
+// so FindJobPartition followed by Allocate against an unchanged state charges
+// the very shape that was verified.
+type PartitionFinder interface {
+	Allocator
+	// FindJobPartition searches for a legal partition for the job at the
+	// given size without charging it. The returned partition is an
+	// independent copy the caller may retain.
+	FindJobPartition(job topology.JobID, size int) (*partition.Partition, bool)
 }
 
 // MonotoneFeasibility is the optional declaration that an allocator's

@@ -77,6 +77,12 @@ func (a *Allocator) FindPartition(size int) (*partition.Partition, bool) {
 	return p.Clone(), true
 }
 
+// FindJobPartition implements alloc.PartitionFinder. Core Jigsaw placements
+// are job-independent (unit demand), so it delegates to FindPartition.
+func (a *Allocator) FindJobPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	return a.FindPartition(size)
+}
+
 // Search runs the full Jigsaw allocation search (Algorithm 1) against an
 // arbitrary state with an arbitrary per-link bandwidth demand. The isolating
 // Jigsaw scheduler uses demand 1 on capacity-1 links; the Jigsaw+S variant

@@ -89,6 +89,13 @@ type Config struct {
 	// OnFailure selects what happens to running jobs whose allocation
 	// intersects an injected failure (Fail). The zero value is FailRequeue.
 	OnFailure FailurePolicy
+	// Elastic enables the malleability moves (DESIGN.md §18): shrink on
+	// failure under FailShrink, grow into freed capacity, priority
+	// preemption, and deadline admission verdicts. Every elastic path is
+	// additionally gated on the job actually declaring elastic fields
+	// (MinNodes/MaxNodes/Priority/Deadline), so a trace of rigid jobs is
+	// scheduled bit-for-bit identically with Elastic on or off.
+	Elastic bool
 	// TotalNodes overrides the cluster size reported by the engine
 	// (TotalNodes, Snapshot, utilization denominators). Zero means the
 	// allocator tree's node count. A cell-restricted shard sets this to its
@@ -107,12 +114,22 @@ const (
 	FailRequeue FailurePolicy = iota
 	// FailKill terminates affected jobs permanently (StateKilled).
 	FailKill
-	// FailShrinkNone is requeue with the no-shrink contract made explicit:
-	// the engine never tries to shrink a job onto its surviving resources —
-	// the whole job is requeued. Behaviorally identical to FailRequeue
-	// today; a distinct name so a future shrink-capable policy can slot in.
-	FailShrinkNone
+	// FailShrink re-places an affected malleable job (trace.Job.MinSize
+	// below its size) on the surviving fabric at the largest legal size in
+	// [MinSize, Size], conserving its remaining work (DESIGN.md §18). It
+	// requires Config.Elastic; rigid jobs — and every job when Elastic is
+	// off — fall back to whole-job requeue, making the policy behaviorally
+	// identical to FailRequeue on pre-elastic traces (this is the successor
+	// of the PR-5 "shrink-none" placeholder, which made exactly that
+	// no-shrink contract explicit).
+	FailShrink
 )
+
+// FailShrinkNone is the deprecated name of FailShrink, kept so existing
+// code and scripts using the PR-5 placeholder keep compiling and parsing.
+//
+// Deprecated: use FailShrink.
+const FailShrinkNone = FailShrink
 
 // String returns the wire name used by flags and the HTTP API.
 func (p FailurePolicy) String() string {
@@ -121,8 +138,8 @@ func (p FailurePolicy) String() string {
 		return "requeue"
 	case FailKill:
 		return "kill"
-	case FailShrinkNone:
-		return "shrink-none"
+	case FailShrink:
+		return "shrink"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
@@ -134,8 +151,8 @@ func ParseFailurePolicy(s string) (FailurePolicy, error) {
 		return FailRequeue, nil
 	case "kill":
 		return FailKill, nil
-	case "shrink-none":
-		return FailShrinkNone, nil
+	case "shrink", "shrink-none": // "shrink-none" is the deprecated PR-5 name
+		return FailShrink, nil
 	}
 	return 0, fmt.Errorf("engine: unknown failure policy %q", s)
 }
@@ -176,10 +193,17 @@ func (s State) String() string {
 
 // Counts tallies job outcomes over the engine's lifetime. Requeued counts
 // failure-induced requeues (a job requeued twice counts twice); Killed counts
-// jobs terminated by failures under the FailKill policy.
+// jobs terminated by failures under the FailKill policy. The elastic
+// counters tally malleability moves (DESIGN.md §18): Shrunk counts running
+// jobs re-placed on failure under FailShrink (at a strictly smaller size, or
+// migrated at full size when the surviving fabric still holds one), Grown
+// counts running jobs expanded into freed capacity, and Preempted counts
+// checkpoint-requeues of lower-priority victims (each displacement of a job
+// counts once, like Requeued).
 type Counts struct {
 	Submitted, Started, Completed, Rejected, Cancelled int64
 	Requeued, Killed                                   int64
+	Shrunk, Grown, Preempted                           int64
 }
 
 // Record is the outcome of one completed job.
@@ -246,6 +270,10 @@ type JobStatus struct {
 	// Start is set once the job runs; End is the (predicted, then actual)
 	// completion time, or the cancellation time for cancelled running jobs.
 	Start, End float64
+	// Verdict is the deadline admission verdict computed at submit time
+	// (VerdictNone unless the engine is elastic and the job declared a
+	// deadline).
+	Verdict Verdict
 }
 
 // Snapshot is a consistent view of the engine for observers.
@@ -277,10 +305,12 @@ type jobItem struct {
 	start float64
 	end   float64
 	rj    *runningJob
+	// verdict is the submit-time deadline admission verdict (elastic only).
+	verdict Verdict
 }
 
 func (it *jobItem) status() JobStatus {
-	return JobStatus{Job: it.j, State: it.state, Runtime: it.eff, Start: it.start, End: it.end}
+	return JobStatus{Job: it.j, State: it.state, Runtime: it.eff, Start: it.start, End: it.end, Verdict: it.verdict}
 }
 
 // runningJob is a started job awaiting completion. Cancellation releases its
@@ -345,6 +375,10 @@ type Engine struct {
 	// transactions; snapshot-free what-if passes then run on the live
 	// state wherever no cached clone is needed afterwards.
 	txnAlloc alloc.TxnAllocator
+	// elasticPF is non-nil when the allocator exposes its partition search
+	// (alloc.PartitionFinder); elastic shrink/grow placements are then
+	// independently re-verified with partition.Verify before being charged.
+	elasticPF alloc.PartitionFinder
 	// byEnd is the reservation's reusable sort scratch.
 	byEnd []*runningJob
 
@@ -399,14 +433,16 @@ func New(cfg Config) (*Engine, error) {
 		w = DefaultWindow
 	}
 	txn, _ := cfg.Alloc.(alloc.TxnAllocator)
+	pf, _ := cfg.Alloc.(alloc.PartitionFinder)
 	e := &Engine{
-		cfg:      cfg,
-		window:   w,
-		running:  map[*runningJob]struct{}{},
-		jobs:     map[int64]*jobItem{},
-		total:    totalNodes(cfg),
-		txnAlloc: txn,
-		feasMin:  maxInt,
+		cfg:       cfg,
+		window:    w,
+		running:   map[*runningJob]struct{}{},
+		jobs:      map[int64]*jobItem{},
+		total:     totalNodes(cfg),
+		txnAlloc:  txn,
+		elasticPF: pf,
+		feasMin:   maxInt,
 	}
 	if fc, ok := cfg.Alloc.(alloc.FeasibilityClasser); ok && !cfg.DisableFeasibilityCache {
 		e.feasClass = fc.FeasibilityClass
@@ -483,6 +519,19 @@ func (e *Engine) Submit(j trace.Job) error {
 		e.haveArrival = true
 	}
 	e.counts.Submitted++
+	if e.cfg.Elastic && j.Deadline > 0 {
+		// Deadline admission (DESIGN.md §18): a verdict is advisory unless
+		// it is VerdictRejected, in which case the job is refused outright —
+		// it can provably never meet its deadline (or never fit at all).
+		e.admit(it)
+		if it.verdict == VerdictRejected {
+			it.state = StateRejected
+			it.end = e.now
+			e.counts.Rejected++
+			e.acc.Rejected = append(e.acc.Rejected, it.j)
+			return nil
+		}
+	}
 	e.events.Push(sim.Event{Time: j.Arrival, Prio: sim.PrioArrival, Payload: it})
 	return nil
 }
@@ -548,10 +597,14 @@ func (e *Engine) Cancel(id int64) (JobStatus, error) {
 
 // FailReport summarizes one failure injection: how many running jobs the
 // failure hit and what became of them under the engine's FailurePolicy.
+// Shrunk counts jobs re-placed on the surviving fabric under FailShrink
+// (at a smaller size or migrated at full size); jobs the shrink search could
+// not re-place fall back to Requeued.
 type FailReport struct {
 	Affected int
 	Requeued int
 	Killed   int
+	Shrunk   int
 }
 
 // Fail injects a resource failure at the current virtual time. Running jobs
@@ -583,6 +636,7 @@ func (e *Engine) Fail(f topology.Failure) (FailReport, error) {
 	now := e.now
 	var rep FailReport
 	rep.Affected = len(affected)
+	var shrinkable []shrinkCand
 	for _, rj := range affected {
 		rj.cancelled = true // tombstone the pending completion event
 		e.cfg.Alloc.Release(rj.pl)
@@ -590,13 +644,22 @@ func (e *Engine) Fail(f topology.Failure) (FailReport, error) {
 		it := rj.it
 		e.used -= it.j.Size
 		it.rj = nil
-		if e.cfg.OnFailure == FailKill {
+		switch {
+		case e.cfg.OnFailure == FailKill:
 			it.state = StateKilled
 			it.end = now
 			e.counts.Killed++
 			rep.Killed++
 			e.acc.Killed = append(e.acc.Killed, it.j)
-		} else { // FailRequeue and FailShrinkNone: whole-job requeue
+		case e.cfg.OnFailure == FailShrink && e.cfg.Elastic &&
+			it.j.MinSize() < it.j.Size && rj.end-now > timeEps:
+			// Deferred: the replacement search must run on the post-Apply
+			// state so it cannot touch the failed resources. The job stays
+			// StateRunning through the resolution below.
+			shrinkable = append(shrinkable, shrinkCand{it: it, remain: rj.end - now})
+		default:
+			// FailRequeue — and FailShrink for rigid jobs (or with Elastic
+			// off): whole-job requeue, full rerun.
 			it.state = StateQueued
 			it.start, it.end = 0, 0
 			e.queue = append(e.queue, it)
@@ -632,6 +695,22 @@ func (e *Engine) Fail(f topology.Failure) (FailReport, error) {
 	e.failed[f] = struct{}{}
 	if f.Kind == topology.FailureLeafSwitch || f.Kind == topology.FailureL2Switch || f.Kind == topology.FailureSpineSwitch {
 		e.failedSwitches++
+	}
+
+	// Re-place shrinkable jobs on the surviving fabric, in job-ID order
+	// (affected is sorted). Jobs the shrink search cannot re-place fall
+	// back to the whole-job requeue the default branch above applies.
+	for _, c := range shrinkable {
+		if e.shrinkOne(c.it, c.remain, now) {
+			rep.Shrunk++
+		} else {
+			it := c.it
+			it.state = StateQueued
+			it.start, it.end = 0, 0
+			e.queue = append(e.queue, it)
+			e.counts.Requeued++
+			rep.Requeued++
+		}
 	}
 
 	// The failure both released resources (affected jobs) and consumed
@@ -900,8 +979,18 @@ func (e *Engine) popHead() {
 	e.queue = e.queue[1:]
 }
 
-// schedule starts queued jobs: FIFO first, then EASY backfill.
+// schedule starts queued jobs — FIFO first, then EASY backfill — and, on an
+// elastic engine whose queue drained, offers leftover capacity to running
+// malleable jobs (growPass).
 func (e *Engine) schedule(now float64) {
+	e.scheduleQueue(now)
+	if e.cfg.Elastic && len(e.queue) == 0 {
+		e.growPass(now)
+	}
+}
+
+// scheduleQueue starts queued jobs: FIFO first, then EASY backfill.
+func (e *Engine) scheduleQueue(now float64) {
 	for {
 		// FIFO: start head jobs while they fit. A head that failed is only
 		// retried after a release (allocations in between cannot help it).
@@ -911,6 +1000,12 @@ func (e *Engine) schedule(now float64) {
 				break
 			}
 			pl, ok := e.allocate(head)
+			if !ok && e.cfg.Elastic {
+				// A blocked urgent head (positive priority, or a deadline
+				// still achievable) may checkpoint-requeue strictly-lower-
+				// priority victims to make room.
+				pl, ok = e.tryPreempt(head, now)
+			}
 			if !ok {
 				e.headBlocked = true
 				e.headBlockedID = head.j.ID

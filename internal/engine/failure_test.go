@@ -166,7 +166,7 @@ func TestFailRecoverErrors(t *testing.T) {
 }
 
 func TestFailurePolicyParse(t *testing.T) {
-	for _, p := range []engine.FailurePolicy{engine.FailRequeue, engine.FailKill, engine.FailShrinkNone} {
+	for _, p := range []engine.FailurePolicy{engine.FailRequeue, engine.FailKill, engine.FailShrink} {
 		got, err := engine.ParseFailurePolicy(p.String())
 		if err != nil || got != p {
 			t.Fatalf("round trip %v: %v, %v", p, got, err)

@@ -192,3 +192,38 @@ func TestZeroFailureLedgerGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroFailureLedgerGoldenElastic replays the exact same rigid history
+// through engines with the malleability layer switched ON (Config.Elastic,
+// FailShrink) and demands the same 18 golden hashes: every elastic path is
+// additionally gated on the job declaring elastic fields, so a trace of
+// rigid jobs must schedule bit-for-bit identically — same allocator call
+// counts, same ledgers — with elasticity enabled or not.
+func TestZeroFailureLedgerGoldenElastic(t *testing.T) {
+	tree := topology.MustNew(8)
+	for _, policy := range allPolicies {
+		for _, v := range engineVariants {
+			key := policy + "/" + v.name
+			t.Run(key, func(t *testing.T) {
+				eng, err := engine.New(engine.Config{
+					Alloc:           newPolicy(t, policy, tree),
+					Conservative:    v.conservative,
+					DisableBackfill: v.disableBackfill,
+					Window:          10,
+					Elastic:         true,
+					OnFailure:       engine.FailShrink,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				driveGoldenHistory(t, eng, tree)
+				if got, want := ledgerHash(eng), zeroFailureGolden[key]; got != want {
+					t.Fatalf("%s: elastic-engine ledger hash %s, golden %s — Config.Elastic perturbed a rigid trace", key, got, want)
+				}
+				if c := eng.Counts(); c.Shrunk+c.Grown+c.Preempted != 0 {
+					t.Fatalf("%s: rigid history performed elastic moves: %+v", key, c)
+				}
+			})
+		}
+	}
+}

@@ -73,6 +73,11 @@ func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Part
 	return p.Clone(), true
 }
 
+// FindJobPartition implements alloc.PartitionFinder.
+func (a *Allocator) FindJobPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	return a.FindPartition(job, size)
+}
+
 // Allocate implements alloc.Allocator. The scratch-backed partition is
 // consumed immediately (Placement copies what it needs), so no clone is
 // taken on this hot path.

@@ -159,6 +159,11 @@ func (a *Allocator) FindPartition(job topology.JobID, size int) (*partition.Part
 	return p.Clone(), true
 }
 
+// FindJobPartition implements alloc.PartitionFinder.
+func (a *Allocator) FindJobPartition(job topology.JobID, size int) (*partition.Partition, bool) {
+	return a.FindPartition(job, size)
+}
+
 // findPartition is the search behind Allocate/FindPartition. Two-level
 // results alias the allocator's scratch (valid until the next search), which
 // Allocate consumes immediately; FindPartition clones before returning.

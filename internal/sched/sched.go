@@ -52,6 +52,11 @@ type Scheduler struct {
 	FailEvents []failtrace.Event
 	// OnFailure picks what happens to running jobs hit by a failure.
 	OnFailure engine.FailurePolicy
+	// Elastic enables the malleability paths (shrink under FailShrink,
+	// grow into idle capacity, deadline admission, priority preemption)
+	// for jobs that declare elastic fields; rigid traces run identically
+	// with it on or off.
+	Elastic bool
 }
 
 // New returns a scheduler with the paper's defaults. Speed-ups apply unless
@@ -113,6 +118,7 @@ func (s *Scheduler) Engine() (*engine.Engine, error) {
 		Conservative:     s.Conservative,
 		ApplySpeedups:    s.ApplySpeedups,
 		OnFailure:        s.OnFailure,
+		Elastic:          s.Elastic,
 		MeasureAllocTime: s.MeasureAllocTime,
 	})
 }

@@ -106,8 +106,13 @@ type coordinator struct {
 	// sub-pod tree shape (LT < LeavesPerPod). attempts counts snapshot-guided
 	// composition attempts, infeasible the ones that found no shape (and
 	// parked nothing), conflicts the optimistic-validation retries.
+	// shrunkPlaced counts placements of malleable jobs below their
+	// requested size (Config.Elastic): when the full size composes no
+	// shape, the search retries at descending whole-leaf sizes down to
+	// max(MinSize, one full leaf — ComposeSubPod's granularity floor).
 	placed       int64
 	subpodPlaced int64
+	shrunkPlaced int64
 	attempts     int64
 	infeasible   int64
 	conflicts    int64
@@ -194,6 +199,7 @@ type crossStats struct {
 	Waiting      int
 	Placed       int64
 	SubpodPlaced int64
+	ShrunkPlaced int64
 	Attempts     int64
 	Infeasible   int64
 	Conflicts    int64
@@ -207,6 +213,7 @@ func (c *coordinator) stats() crossStats {
 		Waiting:      len(c.fifo),
 		Placed:       c.placed,
 		SubpodPlaced: c.subpodPlaced,
+		ShrunkPlaced: c.shrunkPlaced,
 		Attempts:     c.attempts,
 		Infeasible:   c.infeasible,
 		Conflicts:    c.conflicts,
@@ -483,7 +490,24 @@ func (c *coordinator) tryPlace(cj *crossJob) (done, conflict bool) {
 			}
 		}
 	}
-	p, err := shard.ComposeSubPod(c.s.tree, cands, cj.j.Size)
+	size := cj.j.Size
+	p, err := shard.ComposeSubPod(c.s.tree, cands, size)
+	if err != nil && c.s.cfg.Elastic && cj.j.MinSize() < cj.j.Size {
+		// Malleable wide job: retry at descending whole-leaf sizes. Sub-pod
+		// composition hands out fully-free leaves, so only leaf multiples
+		// yield distinct shapes; the floor is the larger of the job's MinSize
+		// and one full leaf (ComposeSubPod's granularity floor).
+		nl := c.s.tree.NodesPerLeaf
+		floor := cj.j.MinSize()
+		if floor < nl {
+			floor = nl
+		}
+		for s := (cj.j.Size - 1) / nl * nl; s >= floor && err != nil; s -= nl {
+			if p, err = shard.ComposeSubPod(c.s.tree, cands, s); err == nil {
+				size = s
+			}
+		}
+	}
 	if err != nil {
 		c.mu.Lock()
 		c.infeasible++
@@ -595,6 +619,13 @@ func (c *coordinator) tryPlace(cj *crossJob) (done, conflict bool) {
 	cj.members = members
 	c.mu.Unlock()
 
+	// Work conservation for shrunk placements: the same total work spread
+	// over fewer nodes runs proportionally longer.
+	eff := cj.eff
+	shrunk := size < cj.j.Size
+	if shrunk {
+		eff = cj.eff * float64(cj.j.Size) / float64(size)
+	}
 	for i, li := range members {
 		slice := slices[li]
 		if slice == nil {
@@ -605,7 +636,10 @@ func (c *coordinator) tryPlace(cj *crossJob) (done, conflict bool) {
 		}
 		sj := cj.j
 		sj.Size = len(slice.Nodes)
-		if _, err := engs[i].StartPlaced(sj, cj.eff, slice); err != nil {
+		// Slices are rigid: malleability was resolved here, and a lane engine
+		// resizing its slice independently would break the coordinated shape.
+		sj.MinNodes, sj.MaxNodes = 0, 0
+		if _, err := engs[i].StartPlaced(sj, eff, slice); err != nil {
 			// Unreachable: gateway-unique IDs, placement verified, resources
 			// revalidated under park.
 			c.s.log.Error("cross-shard start failed", "job", cj.j.ID, "lane", li, "err", err)
@@ -616,9 +650,12 @@ func (c *coordinator) tryPlace(cj *crossJob) (done, conflict bool) {
 	if subpod {
 		c.subpodPlaced++
 	}
+	if shrunk {
+		c.shrunkPlaced++
+	}
 	c.mu.Unlock()
-	c.s.log.Info("cross-shard placement", "job", cj.j.ID, "size", cj.j.Size,
-		"trees", len(p.Trees), "lt", p.LT, "lanes", len(members), "subpod", subpod, "at", now)
+	c.s.log.Info("cross-shard placement", "job", cj.j.ID, "size", size,
+		"trees", len(p.Trees), "lt", p.LT, "lanes", len(members), "subpod", subpod, "shrunk", shrunk, "at", now)
 	return true, false
 }
 

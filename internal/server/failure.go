@@ -3,8 +3,8 @@ package server
 // Fault-injection surface: POST /v1/fail and POST /v1/recover mark fabric
 // resources down or back up on the live engine, and /healthz reports the
 // degraded state. See internal/topology's failure model for what each kind
-// means and internal/engine for the requeue/kill policy applied to running
-// jobs hit by a failure.
+// means and internal/engine for the requeue/kill/shrink policy applied to
+// running jobs hit by a failure.
 
 import (
 	"encoding/json"
@@ -129,12 +129,13 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log.Warn("resource failed", "failure", f.String(),
-		"affected", rep.Affected, "requeued", rep.Requeued, "killed", rep.Killed)
+		"affected", rep.Affected, "requeued", rep.Requeued, "killed", rep.Killed, "shrunk", rep.Shrunk)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"failure":  f.String(),
 		"affected": rep.Affected,
 		"requeued": rep.Requeued,
 		"killed":   rep.Killed,
+		"shrunk":   rep.Shrunk,
 	})
 }
 
@@ -166,14 +167,16 @@ func (s *Server) failAllLanes(w http.ResponseWriter, f topology.Failure) {
 		agg.Affected += rep.Affected
 		agg.Requeued += rep.Requeued
 		agg.Killed += rep.Killed
+		agg.Shrunk += rep.Shrunk
 	}
 	s.log.Warn("resource failed", "failure", f.String(),
-		"affected", agg.Affected, "requeued", agg.Requeued, "killed", agg.Killed)
+		"affected", agg.Affected, "requeued", agg.Requeued, "killed", agg.Killed, "shrunk", agg.Shrunk)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"failure":  f.String(),
 		"affected": agg.Affected,
 		"requeued": agg.Requeued,
 		"killed":   agg.Killed,
+		"shrunk":   agg.Shrunk,
 	})
 }
 

@@ -104,8 +104,15 @@ type Config struct {
 	// DisableBackfill reverts to pure FIFO service.
 	DisableBackfill bool
 	// OnFailure picks what happens to running jobs hit by POST /v1/fail:
-	// requeue (default), kill, or shrink-none.
+	// requeue (default), kill, or shrink (shrink re-places malleable jobs
+	// on the surviving fabric; it requires Elastic and falls back to
+	// requeue for rigid jobs).
 	OnFailure engine.FailurePolicy
+	// Elastic enables the engines' malleability moves (shrink/grow/preempt
+	// and deadline admission verdicts, DESIGN.md §18) and the per-job
+	// elastic fields on POST /v1/jobs. Jobs that declare no elastic fields
+	// schedule exactly as on a non-elastic daemon.
+	Elastic bool
 	// VirtualClock fast-forwards through events instead of tracking wall
 	// time; use it to replay traces.
 	VirtualClock bool
@@ -258,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 			DisableBackfill:  cfg.DisableBackfill,
 			ApplySpeedups:    cfg.ApplySpeedups,
 			OnFailure:        cfg.OnFailure,
+			Elastic:          cfg.Elastic,
 			MeasureAllocTime: true,
 			TotalNodes:       total,
 		})
@@ -451,6 +459,15 @@ type jobJSON struct {
 	State      string  `json:"state"`
 	Start      float64 `json:"start"`
 	End        float64 `json:"end"`
+	// Elastic fields, omitted for rigid jobs. Size reflects the current
+	// size of a shrunk/grown running job; Verdict is the submit-time
+	// deadline admission answer ("accepted", "accepted-at-risk", or
+	// "rejected").
+	MinNodes int     `json:"min_nodes,omitempty"`
+	MaxNodes int     `json:"max_nodes,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Deadline float64 `json:"deadline,omitempty"`
+	Verdict  string  `json:"verdict,omitempty"`
 }
 
 func toJobJSON(st engine.JobStatus) jobJSON {
@@ -463,6 +480,11 @@ func toJobJSON(st engine.JobStatus) jobJSON {
 		State:      st.State.String(),
 		Start:      st.Start,
 		End:        st.End,
+		MinNodes:   st.Job.MinNodes,
+		MaxNodes:   st.Job.MaxNodes,
+		Priority:   st.Job.Priority,
+		Deadline:   st.Job.Deadline,
+		Verdict:    st.Verdict.String(),
 	}
 }
 
@@ -485,6 +507,13 @@ type submitRequest struct {
 	Size    int     `json:"size"`
 	Runtime float64 `json:"runtime"`
 	Arrival float64 `json:"arrival"`
+	// Elastic fields (Config.Elastic only): a malleable node-count range,
+	// a preemption priority, and an absolute virtual-time deadline. All
+	// default to the rigid zero values.
+	MinNodes int     `json:"min_nodes"`
+	MaxNodes int     `json:"max_nodes"`
+	Priority int     `json:"priority"`
+	Deadline float64 `json:"deadline"`
 }
 
 // validateSubmit applies the admission checks shared by the single and
@@ -502,6 +531,29 @@ func (s *Server) validateSubmit(req *submitRequest) error {
 	if req.ID < 0 {
 		return errors.New("id must be non-negative")
 	}
+	if req.MinNodes != 0 || req.MaxNodes != 0 || req.Priority != 0 || req.Deadline != 0 {
+		if !s.cfg.Elastic {
+			return errors.New("elastic fields require an elastic daemon (-elastic)")
+		}
+		if req.MinNodes < 0 || req.MaxNodes < 0 {
+			return errors.New("min_nodes and max_nodes must be non-negative")
+		}
+		if req.MinNodes > 0 && req.MinNodes > req.Size {
+			return fmt.Errorf("min_nodes %d exceeds size %d", req.MinNodes, req.Size)
+		}
+		if req.MaxNodes > 0 && req.MaxNodes < req.Size {
+			return fmt.Errorf("max_nodes %d below size %d", req.MaxNodes, req.Size)
+		}
+		if total := s.cfg.Alloc.Tree().Nodes(); req.MaxNodes > total {
+			return fmt.Errorf("max_nodes %d exceeds cluster size %d", req.MaxNodes, total)
+		}
+		if req.Priority < 0 {
+			return errors.New("priority must be non-negative")
+		}
+		if req.Deadline < 0 {
+			return errors.New("deadline must be non-negative")
+		}
+	}
 	if !s.cfg.VirtualClock {
 		req.Arrival = 0 // clamped to the engine's current wall time
 	}
@@ -509,7 +561,11 @@ func (s *Server) validateSubmit(req *submitRequest) error {
 }
 
 func (req *submitRequest) job() trace.Job {
-	return trace.Job{ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime}
+	return trace.Job{
+		ID: req.ID, Size: req.Size, Arrival: req.Arrival, Runtime: req.Runtime,
+		MinNodes: req.MinNodes, MaxNodes: req.MaxNodes,
+		Priority: req.Priority, Deadline: req.Deadline,
+	}
 }
 
 // assignAndRoute gives a gateway job its ID and owning lane (Shards > 1
@@ -892,6 +948,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			"cancelled": v.Snap.Counts.Cancelled,
 			"requeued":  v.Snap.Counts.Requeued,
 			"killed":    v.Snap.Counts.Killed,
+			"shrunk":    v.Snap.Counts.Shrunk,
+			"grown":     v.Snap.Counts.Grown,
+			"preempted": v.Snap.Counts.Preempted,
 		},
 		"degraded": v.Snap.FailedNodes+v.Snap.FailedLinks+v.Snap.FailedSwitches > 0,
 		"failed": map[string]int{

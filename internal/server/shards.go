@@ -39,6 +39,9 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 				"cancelled": v.Snap.Counts.Cancelled,
 				"requeued":  v.Snap.Counts.Requeued,
 				"killed":    v.Snap.Counts.Killed,
+				"shrunk":    v.Snap.Counts.Shrunk,
+				"grown":     v.Snap.Counts.Grown,
+				"preempted": v.Snap.Counts.Preempted,
 			},
 		}
 	}
@@ -56,6 +59,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 			"waiting":       cs.Waiting,
 			"placed":        cs.Placed,
 			"subpod_placed": cs.SubpodPlaced,
+			"shrunk_placed": cs.ShrunkPlaced,
 			"attempts":      cs.Attempts,
 			"infeasible":    cs.Infeasible,
 			"conflicts":     cs.Conflicts,
@@ -110,6 +114,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.counter("jigsawd_jobs_cancelled_total", "Jobs cancelled while queued or running.", c.Cancelled)
 	mw.counter("jigsawd_jobs_requeued_total", "Running jobs returned to the queue by a resource failure.", c.Requeued)
 	mw.counter("jigsawd_jobs_killed_total", "Running jobs killed by a resource failure (fail policy kill).", c.Killed)
+	mw.counter("jigsawd_jobs_shrunk_total", "Running malleable jobs re-placed on the surviving fabric after a failure (fail policy shrink).", c.Shrunk)
+	mw.counter("jigsawd_jobs_grown_total", "Running malleable jobs expanded into freed capacity.", c.Grown)
+	mw.counter("jigsawd_jobs_preempted_total", "Running jobs checkpoint-requeued to make room for an urgent higher-priority job.", c.Preempted)
 	mw.gaugeInt("jigsawd_queue_depth", "Jobs waiting for an allocation.", v.Snap.QueueDepth)
 	mw.gaugeInt("jigsawd_running_jobs", "Jobs currently holding an allocation.", v.Snap.RunningJobs)
 	mw.gaugeInt("jigsawd_nodes_total", "Compute nodes in the simulated fat-tree.", v.Snap.TotalNodes)
@@ -170,6 +177,7 @@ func (s *Server) writeShardMetrics(mw *metricsWriter, views []*snapshot.View) {
 		mw.gaugeInt("jigsawd_cross_shard_waiting", "Cross-shard jobs waiting for capacity.", cs.Waiting)
 		mw.counter("jigsawd_cross_shard_placed_total", "Cross-shard placements since start.", cs.Placed)
 		mw.counter("jigsawd_cross_shard_subpod_placed_total", "Cross-shard placements that used partially-free pods or sub-pod tree shapes.", cs.SubpodPlaced)
+		mw.counter("jigsawd_cross_shard_shrunk_placed_total", "Cross-shard malleable jobs placed below their requested size.", cs.ShrunkPlaced)
 		mw.counter("jigsawd_cross_shard_attempts_total", "Snapshot-guided cross-shard composition attempts.", cs.Attempts)
 		mw.counter("jigsawd_cross_shard_infeasible_total", "Attempts that found no legal shape (and parked no lane).", cs.Infeasible)
 		mw.counter("jigsawd_cross_shard_conflicts_total", "Optimistic-validation retries after losing a race to shard-local traffic.", cs.Conflicts)

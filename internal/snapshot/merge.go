@@ -52,6 +52,9 @@ func Merge(views []*View) *View {
 		m.Snap.Counts.Cancelled += v.Snap.Counts.Cancelled
 		m.Snap.Counts.Requeued += v.Snap.Counts.Requeued
 		m.Snap.Counts.Killed += v.Snap.Counts.Killed
+		m.Snap.Counts.Shrunk += v.Snap.Counts.Shrunk
+		m.Snap.Counts.Grown += v.Snap.Counts.Grown
+		m.Snap.Counts.Preempted += v.Snap.Counts.Preempted
 		m.Snap.FailedNodes += v.Snap.FailedNodes
 		m.Snap.FailedLinks += v.Snap.FailedLinks
 		m.Snap.FailedSwitches += v.Snap.FailedSwitches

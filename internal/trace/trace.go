@@ -27,6 +27,46 @@ type Job struct {
 	// Runtime is the job's execution time in seconds under traditional
 	// (non-isolated) scheduling.
 	Runtime float64
+
+	// MinNodes and MaxNodes bound a malleable (elastic) job's node count:
+	// the scheduler may shrink the job down to MinNodes on a fabric failure
+	// or grow it up to MaxNodes into freed capacity, rescaling the remaining
+	// runtime so total work is conserved. Zero means the bound equals Size,
+	// so the zero value is a rigid job and every pre-elastic trace is
+	// unchanged.
+	MinNodes int
+	MaxNodes int
+	// Priority orders preemption: a job that cannot be placed may
+	// checkpoint-requeue running jobs of strictly lower priority. Zero is
+	// the default class; negative values mark jobs that even default-class
+	// deadline traffic may preempt.
+	Priority int
+	// Deadline is the absolute (virtual-time) completion deadline used for
+	// the submit-time SLA admission verdict; 0 means none.
+	Deadline float64
+}
+
+// MinSize returns the smallest node count the job may run at: MinNodes, or
+// Size for rigid jobs.
+func (j Job) MinSize() int {
+	if j.MinNodes > 0 {
+		return j.MinNodes
+	}
+	return j.Size
+}
+
+// MaxSize returns the largest node count the job may run at: MaxNodes, or
+// Size for rigid jobs.
+func (j Job) MaxSize() int {
+	if j.MaxNodes > 0 {
+		return j.MaxNodes
+	}
+	return j.Size
+}
+
+// Malleable reports whether the job declared any elastic range at all.
+func (j Job) Malleable() bool {
+	return j.MinSize() != j.Size || j.MaxSize() != j.Size
 }
 
 // Trace is a named job queue plus the metadata Table 1 reports.
@@ -98,6 +138,21 @@ func (t *Trace) Validate() error {
 		}
 		if j.Arrival < 0 {
 			return fmt.Errorf("trace %s: job %d has negative arrival", t.Name, i)
+		}
+		if j.MinNodes < 0 || j.MaxNodes < 0 {
+			return fmt.Errorf("trace %s: job %d has negative elastic bounds [%d, %d]", t.Name, i, j.MinNodes, j.MaxNodes)
+		}
+		if j.MinNodes > 0 && j.MinNodes > j.Size {
+			return fmt.Errorf("trace %s: job %d min nodes %d exceeds size %d", t.Name, i, j.MinNodes, j.Size)
+		}
+		if j.MaxNodes > 0 && j.MaxNodes < j.Size {
+			return fmt.Errorf("trace %s: job %d max nodes %d below size %d", t.Name, i, j.MaxNodes, j.Size)
+		}
+		if t.SystemNodes > 0 && j.MaxNodes > t.SystemNodes {
+			return fmt.Errorf("trace %s: job %d max nodes %d exceeds system %d", t.Name, i, j.MaxNodes, t.SystemNodes)
+		}
+		if j.Deadline < 0 {
+			return fmt.Errorf("trace %s: job %d has negative deadline", t.Name, i)
 		}
 	}
 	return nil
